@@ -1,0 +1,132 @@
+// Command dsmsim runs one application once on the simulated DSM machine and
+// prints what the hardware would let you measure (the event-counter report,
+// perfex-style) plus the simulator's ground truth and the SGI-tool
+// analogues (speedshop, ssusage, time).
+//
+//	dsmsim -app t3dheat -procs 8
+//	dsmsim -app swim -procs 32 -size 262144 -json report.json -mux
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/counters"
+	"scaltool/internal/machine"
+	"scaltool/internal/perftools"
+	"scaltool/internal/sim"
+	"scaltool/internal/table"
+)
+
+func main() {
+	appName := flag.String("app", "swim", "application (t3dheat, hydro2d, swim, matmul, spmv)")
+	procs := flag.Int("procs", 4, "processor count")
+	size := flag.Uint64("size", 0, "data-set bytes (0 = application default)")
+	mach := flag.String("machine", "scaled", "machine: scaled | origin")
+	jsonPath := flag.String("json", "", "also write the counter report (the per-run output file) here")
+	mux := flag.Bool("mux", false, "emulate 2-counter multiplexed measurement (perfex -a -mp)")
+	tracePath := flag.String("trace", "", "write the per-region timing trace (CSV) here")
+	flag.Parse()
+
+	if err := run(*appName, *procs, *size, *mach, *jsonPath, *mux, *tracePath); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName string, procs int, size uint64, mach, jsonPath string, mux bool, tracePath string) error {
+	var cfg machine.Config
+	switch mach {
+	case "scaled":
+		cfg = machine.ScaledOrigin()
+	case "origin":
+		cfg = machine.Origin2000()
+	default:
+		return fmt.Errorf("unknown machine %q", mach)
+	}
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return err
+	}
+	if size == 0 {
+		size = app.DefaultBytes(cfg)
+	}
+	prog, err := app.Build(cfg, procs, size)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(cfg, prog)
+	if err != nil {
+		return err
+	}
+	report := res.Report
+	if mux {
+		report = *counters.MultiplexReport(&report, counters.DefaultMux(uint64(size)^uint64(procs)))
+	}
+
+	fmt.Printf("%s on %s, %d processors, %d bytes (requested %d)\n\n",
+		appName, cfg.Name, procs, res.DataBytes, size)
+
+	tot := report.Total()
+	tb := table.New("Hardware event counters (perfex analogue, summed over processors)",
+		"event", "#count")
+	for e := 0; e < counters.NumEvents; e++ {
+		tb.Row(counters.Event(e).String(), int(tot[counters.Event(e)]))
+	}
+	tb.Row("barriers (instrumented)", int(report.Barriers))
+	tb.Row("locks (instrumented)", int(report.Locks))
+	fmt.Println(tb.String())
+
+	td := table.New("Derived ratios", "quantity", "#value")
+	td.Row("cpi", tot.CPI())
+	td.Row("h2 (L1 miss, L2 hit / instr)", tot.H2())
+	td.Row("hm (L2 miss / instr)", tot.Hm())
+	td.Row("L1 hit rate", tot.L1HitRate())
+	td.Row("L2 local hit rate", tot.L2LocalHitRate())
+	td.Row("memory instr fraction m", tot.MemFrac())
+	fmt.Println(td.String())
+
+	g := res.Ground
+	tg := table.New("Simulator ground truth (not visible to Scal-Tool)", "quantity", "#value")
+	tg.Row("busy cycles", g.BusyCycles)
+	tg.Row("sync cycles", g.SyncCycles)
+	tg.Row("imbalance cycles", g.ImbCycles)
+	tg.Row("compulsory L2 misses", int(g.Compulsory))
+	tg.Row("coherence L2 misses", int(g.Coherence))
+	tg.Row("conflict L2 misses", int(g.Conflict))
+	tg.Row("invalidations", int(g.Invalidations))
+	tg.Row("sharing line events", int(g.SharingLines))
+	fmt.Println(tg.String())
+
+	prof := perftools.Speedshop(res)
+	usage := perftools.Ssusage(res)
+	fmt.Printf("speedshop MP cycles: %.0f (sync %.0f + wait %.0f)\n", prof.MPCycles(), prof.BarrierCycles, prof.WaitCycles)
+	fmt.Printf("ssusage: %d pages (%d bytes)\n", usage.Pages, usage.Bytes())
+	fmt.Printf("time: %.6f s at %d MHz (%.0f cycles)\n", perftools.Time(res, cfg.ClockMHz), cfg.ClockMHz, res.WallCycles)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("\ncounter report written to %s\n", jsonPath)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteRegionTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("region trace written to %s\n", tracePath)
+	}
+	return nil
+}

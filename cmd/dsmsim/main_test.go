@@ -1,0 +1,31 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	json := filepath.Join(t.TempDir(), "report.json")
+	if err := run("swim", 2, 0, "scaled", json, false, filepath.Join(t.TempDir(), "trace.csv")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMux(t *testing.T) {
+	if err := run("hydro2d", 2, 0, "scaled", "", true, ""); err != nil {
+		t.Fatalf("run with mux: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 2, 0, "scaled", "", false, ""); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run("swim", 2, 0, "vax", "", false, ""); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run("swim", 1, 64, "scaled", "", false, ""); err == nil {
+		t.Error("absurd size accepted")
+	}
+}

@@ -1,0 +1,57 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated machine. Its output is the data
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-procs 32] [-only fig6] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaltool/internal/experiments"
+	"scaltool/internal/machine"
+)
+
+func main() {
+	procs := flag.Int("procs", 32, "largest processor count (power of two)")
+	only := flag.String("only", "", "run a single experiment by id (e.g. table1, fig6)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	full := flag.Bool("fullsize", false, "use the full-size Origin 2000 configuration (slow)")
+	flag.Parse()
+
+	cfg := machine.ScaledOrigin()
+	if *full {
+		cfg = machine.Origin2000()
+	}
+	suite := experiments.NewSuite(cfg, *procs)
+
+	if *list {
+		for _, e := range suite.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	if *only != "" {
+		e, err := suite.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("## %s\n\n%s\n", e.Name, out)
+		return
+	}
+	fmt.Printf("Scal-Tool reproduction — machine %q, up to %d processors\n\n", cfg.Name, *procs)
+	if err := suite.RunAll(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

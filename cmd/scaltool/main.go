@@ -1,0 +1,312 @@
+// Command scaltool is the reproduction's CLI — the workflow a programmer
+// would use on a real machine:
+//
+//	scaltool apps                      list the available applications
+//	scaltool plan    -app swim         show the Table 3 run matrix + cost
+//	scaltool analyze -app swim         run the campaign, fit the model,
+//	                                   print speedups, breakdown, validation
+//	scaltool whatif  -app swim -l2x 2  §2.6 parameter studies (no re-run)
+//
+// Common flags: -procs (power of two, default 32), -machine scaled|origin,
+// -s0 (base data-set bytes, 0 = the app default), -raw-tm (paper-faithful
+// single-pass tm(n)), -csv (machine-readable tables).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/campaign"
+	"scaltool/internal/machine"
+	"scaltool/internal/model"
+	"scaltool/internal/perftools"
+	"scaltool/internal/table"
+	"scaltool/internal/whatif"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "apps":
+		err = cmdApps()
+	case "plan":
+		err = cmdPlan(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "whatif":
+		err = cmdWhatif(args)
+	case "measure":
+		err = cmdMeasure(args)
+	case "fit":
+		err = cmdFit(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scaltool: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaltool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: scaltool <command> [flags]
+
+commands:
+  apps      list the available applications
+  plan      show the Table 3 measurement plan and its Table 1 cost
+  analyze   run the measurement campaign and print the model's breakdown
+  whatif    evaluate machine-parameter changes on a fitted model (§2.6)
+  measure   run the campaign and write one counter-report file per run
+  fit       fit the model from a directory of counter-report files
+
+run 'scaltool <command> -h' for flags.
+`)
+}
+
+// common flags shared by the run-based subcommands.
+type common struct {
+	fs      *flag.FlagSet
+	app     *string
+	procs   *int
+	s0      *uint64
+	mach    *string
+	rawTm   *bool
+	csv     *bool
+	workers *int
+}
+
+func commonFlags(name string) *common {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &common{
+		fs:      fs,
+		app:     fs.String("app", "swim", "application (see 'scaltool apps')"),
+		procs:   fs.Int("procs", 32, "largest processor count (power of two)"),
+		s0:      fs.Uint64("s0", 0, "base data-set bytes (0 = application default)"),
+		mach:    fs.String("machine", "scaled", "machine: scaled | origin"),
+		rawTm:   fs.Bool("raw-tm", false, "paper-faithful single-pass tm(n) (no MP decontamination)"),
+		csv:     fs.Bool("csv", false, "emit CSV instead of aligned tables"),
+		workers: fs.Int("workers", 0, "concurrent simulated runs (0 = GOMAXPROCS)"),
+	}
+}
+
+func (c *common) machine() (machine.Config, error) {
+	switch *c.mach {
+	case "scaled":
+		return machine.ScaledOrigin(), nil
+	case "origin":
+		return machine.Origin2000(), nil
+	}
+	return machine.Config{}, fmt.Errorf("unknown machine %q (want scaled or origin)", *c.mach)
+}
+
+func (c *common) emit(t *table.Table) error {
+	if *c.csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func cmdApps() error {
+	tb := table.New("Applications", "name", "parallel model", "description")
+	for _, name := range apps.Names() {
+		a, err := apps.ByName(name)
+		if err != nil {
+			return err
+		}
+		tb.Row(name, a.ParallelModel(), a.Description())
+	}
+	fmt.Println(tb.String())
+	return nil
+}
+
+func planFor(c *common) (apps.App, campaign.Plan, machine.Config, error) {
+	cfg, err := c.machine()
+	if err != nil {
+		return nil, campaign.Plan{}, cfg, err
+	}
+	app, err := apps.ByName(*c.app)
+	if err != nil {
+		return nil, campaign.Plan{}, cfg, err
+	}
+	plan, err := campaign.NewPlan(app, cfg, *c.procs, *c.s0)
+	return app, plan, cfg, err
+}
+
+func cmdPlan(args []string) error {
+	c := commonFlags("plan")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	_, plan, _, err := planFor(c)
+	if err != nil {
+		return err
+	}
+	tb := table.New(fmt.Sprintf("Table 3 plan — %s (s0 = %d bytes)", plan.App, plan.S0),
+		"run", "#procs", "#data-set bytes")
+	for _, n := range plan.ProcCounts {
+		tb.Row("base", n, int(plan.S0))
+	}
+	for _, s := range plan.UniSizes {
+		tb.Row("uniprocessor", 1, int(s))
+	}
+	if err := c.emit(tb); err != nil {
+		return err
+	}
+	cost := plan.Cost()
+	ex := perftools.ExistingToolsCost(plan.N())
+	tb2 := table.New("Resource cost (Table 1)", "method", "#runs", "#processors", "#files")
+	tb2.Row("Scal-Tool", cost.Runs, cost.Processors, cost.Files)
+	tb2.Row("time+speedshop", ex.Runs, ex.Processors, ex.Files)
+	return c.emit(tb2)
+}
+
+func fitFor(c *common) (*campaign.Result, *model.Model, error) {
+	app, plan, cfg, err := planFor(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	rn := &campaign.Runner{Cfg: cfg, Workers: *c.workers}
+	res, err := rn.Run(app, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := model.DefaultOptions(cfg.L2.SizeBytes)
+	opts.RawTmN = *c.rawTm
+	m, err := res.Fit(opts)
+	return res, m, err
+}
+
+func cmdAnalyze(args []string) error {
+	c := commonFlags("analyze")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	res, m, err := fitFor(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: cpi0=%.3f (initial %.3f)  t2=%.1f  tm(1)=%.1f  compulsory=%.4f  cpi_imb=%.2f\n",
+		m.CPI0, m.CPI0Initial, m.T2, m.Tm1, m.Compulsory, m.CpiImb)
+	fmt.Printf("fit quality: RMSE=%.4f  R2=%.4f over %d L2-overflowing sizes\n\n", m.FitRMSE, m.FitR2, m.FitSizes)
+
+	sp := table.New("Speedup", "#procs", "#wall cycles", "#speedup")
+	for _, s := range m.Speedups() {
+		sp.Row(s.Procs, s.Wall, s.Speedup)
+	}
+	if err := c.emit(sp); err != nil {
+		return err
+	}
+
+	tb := table.New("Scalability bottlenecks (cycles accumulated over processors)",
+		"#procs", "#Base", "#L2Lim", "#Sync", "#Imb", "#MP", "#L2Lim%", "#Sync%", "#Imb%")
+	for _, bp := range m.Breakdown() {
+		base := bp.Base
+		tb.Row(bp.Procs, bp.Base, bp.L2Lim(), bp.Sync, bp.Imb, bp.MP(),
+			100*bp.L2Lim()/base, 100*bp.Sync/base, 100*bp.Imb/base)
+	}
+	if err := c.emit(tb); err != nil {
+		return err
+	}
+
+	meas := res.MeasuredMP()
+	tv := table.New("Validation vs speedshop analogue", "#procs", "#model MP", "#measured MP", "#diff % of Base")
+	for _, bp := range m.Breakdown() {
+		tv.Row(bp.Procs, bp.MP(), meas[bp.Procs], 100*(bp.MP()-meas[bp.Procs])/bp.Base)
+	}
+	return c.emit(tv)
+}
+
+// cmdMeasure runs the campaign and writes the per-run report files — the
+// measurement half of the paper's workflow (Table 1's "files" column).
+func cmdMeasure(args []string) error {
+	c := commonFlags("measure")
+	out := c.fs.String("out", "scaltool-reports", "output directory for the report files")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	app, plan, cfg, err := planFor(c)
+	if err != nil {
+		return err
+	}
+	rn := &campaign.Runner{Cfg: cfg, Workers: *c.workers}
+	res, err := rn.Run(app, plan)
+	if err != nil {
+		return err
+	}
+	nFiles, err := res.SaveReports(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d report files written to %s (plan: %d runs; kernels shared per machine)\n",
+		nFiles, *out, plan.Cost().Runs)
+	return nil
+}
+
+// cmdFit fits the model from report files alone — the analysis half, which
+// needs no simulator and no application.
+func cmdFit(args []string) error {
+	c := commonFlags("fit")
+	dir := c.fs.String("dir", "scaltool-reports", "directory of counter-report files")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := c.machine()
+	if err != nil {
+		return err
+	}
+	opts := model.DefaultOptions(cfg.L2.SizeBytes)
+	opts.RawTmN = *c.rawTm
+	m, err := campaign.FitDir(*dir, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: cpi0=%.3f  t2=%.1f  tm(1)=%.1f  compulsory=%.4f\n\n", m.CPI0, m.T2, m.Tm1, m.Compulsory)
+	tb := table.New("Scalability bottlenecks (cycles accumulated over processors)",
+		"#procs", "#Base", "#L2Lim", "#Sync", "#Imb")
+	for _, bp := range m.Breakdown() {
+		tb.Row(bp.Procs, bp.Base, bp.L2Lim(), bp.Sync, bp.Imb)
+	}
+	return c.emit(tb)
+}
+
+func cmdWhatif(args []string) error {
+	c := commonFlags("whatif")
+	l2x := c.fs.Float64("l2x", 1, "L2 size factor k")
+	tmx := c.fs.Float64("tmx", 1, "memory/interconnect latency scale")
+	t2x := c.fs.Float64("t2x", 1, "L2 latency scale")
+	tsx := c.fs.Float64("tsx", 1, "synchronization latency scale")
+	cpix := c.fs.Float64("cpi0x", 1, "compute CPI scale (issue width)")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	_, m, err := fitFor(c)
+	if err != nil {
+		return err
+	}
+	sc := whatif.Scenario{
+		Name: "custom", L2SizeFactor: *l2x, TmScale: *tmx,
+		T2Scale: *t2x, TSyncScale: *tsx, CPI0Scale: *cpix,
+	}
+	preds, err := whatif.Evaluate(m, sc)
+	if err != nil {
+		return err
+	}
+	tb := table.New(fmt.Sprintf("what-if: l2x=%g tmx=%g t2x=%g tsx=%g cpi0x=%g", *l2x, *tmx, *t2x, *tsx, *cpix),
+		"#procs", "#baseline cycles", "#predicted cycles", "#speedup", "#new L2 miss rate")
+	for _, p := range preds {
+		tb.Row(p.Procs, p.BaselineCycles, p.NewCycles, p.SpeedupVsBaseline(), p.NewL2MissRate)
+	}
+	return c.emit(tb)
+}

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestCmdApps(t *testing.T) {
+	if err := cmdApps(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdPlan(t *testing.T) {
+	if err := cmdPlan([]string{"-app", "t3dheat", "-procs", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPlan([]string{"-app", "nope"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := cmdPlan([]string{"-machine", "vax"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	if err := cmdAnalyze([]string{"-app", "swim", "-procs", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-app", "swim", "-procs", "4", "-csv", "-raw-tm"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdWhatif(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	if err := cmdWhatif([]string{"-app", "swim", "-procs", "4", "-l2x", "2", "-tsx", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWhatif([]string{"-app", "swim", "-procs", "4", "-tmx", "-3"}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestCmdMeasureAndFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	dir := t.TempDir()
+	if err := cmdMeasure([]string{"-app", "swim", "-procs", "4", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFit([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFit([]string{"-dir", t.TempDir()}); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

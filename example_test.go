@@ -1,0 +1,90 @@
+package scaltool_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"scaltool"
+)
+
+// The full Scal-Tool workflow: campaign, fit, breakdown. (A 4-processor
+// campaign keeps the example fast; the paper's scale is 32.)
+func Example() {
+	cfg := scaltool.ScaledOrigin()
+	app, err := scaltool.AppByName("hydro2d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := scaltool.Analyze(cfg, app, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bp := range a.Breakdown() {
+		fmt.Printf("n=%d dominant=%s\n", bp.Procs, dominant(bp))
+	}
+	// Output:
+	// n=1 dominant=L2Lim
+	// n=2 dominant=Imb
+	// n=4 dominant=Imb
+}
+
+func dominant(bp scaltool.BreakdownPoint) string {
+	type bar struct {
+		name string
+		v    float64
+	}
+	bars := []bar{{"L2Lim", bp.L2Lim()}, {"Sync", bp.Sync}, {"Imb", bp.Imb}}
+	sort.SliceStable(bars, func(i, j int) bool { return bars[i].v > bars[j].v })
+	return bars[0].name
+}
+
+// Building and simulating a custom program directly.
+func ExampleSimulate() {
+	cfg := scaltool.ScaledOrigin()
+	prog, err := scaltool.NewProgram("demo", 2, 8192, cfg.PageBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := prog.Alloc("a", 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := prog.AddRegion("sweep")
+	reg.Proc(0).Read(arr.Base, 512, 8, 2)
+	reg.Proc(1).Read(arr.Base+4096, 512, 8, 2)
+	res, err := scaltool.Simulate(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("procs=%d barriers=%d deterministic=%v\n",
+		res.Report.Procs, res.Report.Barriers, res.WallCycles > 0)
+	// Output:
+	// procs=2 barriers=1 deterministic=true
+}
+
+// What-if studies never re-run the application.
+func ExampleAnalysis_WhatIf() {
+	cfg := scaltool.ScaledOrigin()
+	app, err := scaltool.AppByName("swim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := scaltool.Analyze(cfg, app, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := a.WhatIf(scaltool.FasterMemory())
+	if err != nil {
+		log.Fatal(err)
+	}
+	improved := 0
+	for _, p := range preds {
+		if p.NewCycles < p.BaselineCycles {
+			improved++
+		}
+	}
+	fmt.Printf("faster memory helps at %d of %d processor counts\n", improved, len(preds))
+	// Output:
+	// faster memory helps at 3 of 3 processor counts
+}

@@ -1,0 +1,49 @@
+// Quickstart: run the full Scal-Tool workflow on one application and print
+// the scalability breakdown — the 30-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaltool"
+)
+
+func main() {
+	// The default experiment machine: a ratio-preserving scale-down of the
+	// paper's SGI Origin 2000.
+	cfg := scaltool.ScaledOrigin()
+
+	app, err := scaltool.AppByName("swim")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Analyze runs the paper's Table 3 measurement campaign — the
+	// application at its base data-set size for 1, 2, …, 16 processors,
+	// uniprocessor runs at fractional sizes, and the small estimation
+	// kernels — and fits the empirical model.
+	a, err := scaltool.Analyze(cfg, app, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Scal-Tool analysis of %q (s0 = %d bytes)\n", app.Name(), a.Plan.S0)
+	fmt.Printf("model: cpi0 = %.3f, t2 = %.1f, tm(1) = %.1f, compulsory miss rate = %.4f\n\n",
+		a.Model.CPI0, a.Model.T2, a.Model.Tm1, a.Model.Compulsory)
+
+	fmt.Println("procs  speedup   L2Lim%   Sync%    Imb%")
+	sps := map[int]float64{}
+	for _, sp := range a.Speedups() {
+		sps[sp.Procs] = sp.Speedup
+	}
+	for _, bp := range a.Breakdown() {
+		fmt.Printf("%5d  %7.2f  %6.1f%%  %5.1f%%  %5.1f%%\n",
+			bp.Procs, sps[bp.Procs],
+			100*bp.L2Lim()/bp.Base, 100*bp.Sync/bp.Base, 100*bp.Imb/bp.Base)
+	}
+
+	fmt.Println("\nReading the chart: L2Lim is time lost to insufficient caching space")
+	fmt.Println("(it shrinks as processors add cache), Sync to barriers, Imb to idle")
+	fmt.Println("spinning. The campaign cost", a.Cost().Runs, "runs — the paper's 2n-1.")
+}

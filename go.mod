@@ -1,0 +1,3 @@
+module scaltool
+
+go 1.22

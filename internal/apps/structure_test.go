@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"scaltool/internal/sim"
+)
+
+// Structural tests: the region composition of each paper app must match its
+// documented design (these catch silent generator regressions that the
+// behavioural tests might absorb into "shape drift").
+
+func regionNames(p *sim.Program) map[string]int {
+	out := map[string]int{}
+	for _, r := range p.Regions() {
+		out[r.Name]++
+	}
+	return out
+}
+
+func TestT3dheatRegionStructure(t *testing.T) {
+	c := cfg()
+	app := NewT3dheat()
+	procs := 8
+	prog, err := app.Build(c, procs, app.DefaultBytes(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := regionNames(prog)
+	it := app.Params.Iters
+	if names["init"] != 1 {
+		t.Errorf("init regions = %d", names["init"])
+	}
+	for _, r := range []string{"matvec", "dot_pq", "axpy_x", "axpy_r", "dot_rr", "update_p"} {
+		if names[r] != it {
+			t.Errorf("%s regions = %d, want %d (one per iteration)", r, names[r], it)
+		}
+	}
+	// Tree reductions: log2(procs) steps per dot product per iteration.
+	logP := 0
+	for 1<<uint(logP+1) <= procs {
+		logP++
+	}
+	if names["reduce_pq"] != it*logP || names["reduce_rr"] != it*logP {
+		t.Errorf("reduce regions = %d/%d, want %d each", names["reduce_pq"], names["reduce_rr"], it*logP)
+	}
+	if names["pcf_barrier"] != it*app.Params.ExtraBarriers {
+		t.Errorf("pcf_barrier regions = %d, want %d", names["pcf_barrier"], it*app.Params.ExtraBarriers)
+	}
+	// Five arrays plus partials and the sync page.
+	if got := prog.SpaceBytes(); got < 5*prog.DataBytes/t3dArrays {
+		t.Errorf("address space %d too small for 5 arrays", got)
+	}
+}
+
+func TestHydro2dRegionStructure(t *testing.T) {
+	c := cfg()
+	app := NewHydro2d()
+	prog, err := app.Build(c, 4, app.DefaultBytes(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := regionNames(prog)
+	pm := app.Params
+	if names["serial_filter"] != pm.Steps {
+		t.Errorf("serial_filter regions = %d, want %d", names["serial_filter"], pm.Steps)
+	}
+	if names["doacross_sweep"] != pm.Steps*pm.Sweeps {
+		t.Errorf("doacross regions = %d, want %d", names["doacross_sweep"], pm.Steps*pm.Sweeps)
+	}
+	// The serial sections run on processor 0 only.
+	for _, r := range prog.Regions() {
+		if r.Name != "serial_filter" {
+			continue
+		}
+		if r.Streams[0].Empty() {
+			t.Error("serial section empty on processor 0")
+		}
+		for pr := 1; pr < 4; pr++ {
+			if !r.Streams[pr].Empty() {
+				t.Errorf("serial section has work on processor %d", pr)
+			}
+		}
+	}
+}
+
+func TestHydro2dSerialFracZero(t *testing.T) {
+	c := cfg()
+	app := NewHydro2d()
+	app.Params.SerialFrac = 0
+	prog, err := app.Build(c, 4, app.DefaultBytes(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := regionNames(prog)["serial_filter"]; n != 0 {
+		t.Fatalf("serial regions = %d with SerialFrac=0", n)
+	}
+	if _, err := sim.Run(c, prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwimRegionStructure(t *testing.T) {
+	c := cfg()
+	app := NewSwim()
+	prog, err := app.Build(c, 4, app.DefaultBytes(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := regionNames(prog)
+	for _, r := range []string{"calc1", "calc2", "calc3"} {
+		if names[r] != app.Params.Steps {
+			t.Errorf("%s regions = %d, want %d", r, names[r], app.Params.Steps)
+		}
+	}
+	// Boundary work goes to the first and last processors only.
+	for _, r := range prog.Regions() {
+		if !strings.HasPrefix(r.Name, "calc") {
+			continue
+		}
+		// Every processor works in every calc.
+		for pr := 0; pr < 4; pr++ {
+			if r.Streams[pr].Empty() {
+				t.Errorf("%s: processor %d idle", r.Name, pr)
+			}
+		}
+		// Edge processors carry extra ops (the periodic boundary).
+		if len(r.Streams[0].Ops) <= len(r.Streams[1].Ops) {
+			t.Errorf("%s: edge processor not doing boundary work (%d vs %d ops)",
+				r.Name, len(r.Streams[0].Ops), len(r.Streams[1].Ops))
+		}
+		break
+	}
+}
+
+func TestAppsQuantizeMonotonically(t *testing.T) {
+	// Requesting a strictly larger size never yields a smaller program.
+	c := cfg()
+	for _, name := range PaperAppNames() {
+		app, _ := ByName(name)
+		prev := uint64(0)
+		for _, f := range []float64{0.5, 1, 2, 4} {
+			req := uint64(f * float64(app.DefaultBytes(c)))
+			prog, err := app.Build(c, 1, req)
+			if err != nil {
+				t.Fatalf("%s at %d: %v", name, req, err)
+			}
+			if prog.DataBytes < prev {
+				t.Errorf("%s: achieved size fell from %d to %d", name, prev, prog.DataBytes)
+			}
+			prev = prog.DataBytes
+		}
+	}
+}
+
+// PaperAppNames mirrors experiments.PaperApps without the import cycle.
+func PaperAppNames() []string { return []string{"t3dheat", "hydro2d", "swim"} }

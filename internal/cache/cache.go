@@ -1,0 +1,277 @@
+// Package cache implements the private cache hierarchy of one simulated
+// processor: a set-associative L1 data cache and a larger set-associative
+// unified L2, both write-back with LRU replacement, holding lines in the
+// Illinois-protocol states (Modified / Exclusive / Shared / Invalid) that the
+// Origin 2000's coherence scheme uses.
+//
+// Beyond plain hit/miss simulation, the hierarchy classifies every L2 miss
+// into the three categories the paper reasons about:
+//
+//   - compulsory — the processor has never cached the line before;
+//   - coherence  — the line was removed by a remote write's invalidation;
+//   - conflict   — everything else (the paper folds capacity and conflict
+//     misses together under "conflict misses", §2.1).
+//
+// This classification is the simulator's ground truth. Scal-Tool never sees
+// it; the model must *estimate* the same quantities from event-counter
+// aggregates, and the tests compare the two.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"scaltool/internal/machine"
+)
+
+// State is an Illinois/MESI cache-line state.
+type State uint8
+
+// Cache line states. The zero value is Invalid.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the conventional one-letter name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// MissKind classifies an L2 miss.
+type MissKind uint8
+
+// L2 miss classes (ground truth, per §2.1 / Table 2 of the paper).
+const (
+	MissCompulsory MissKind = iota
+	MissCoherence
+	MissConflict // capacity + conflict, the paper's combined "conflict misses"
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case MissCompulsory:
+		return "compulsory"
+	case MissCoherence:
+		return "coherence"
+	case MissConflict:
+		return "conflict"
+	}
+	return fmt.Sprintf("MissKind(%d)", uint8(k))
+}
+
+type way struct {
+	line  uint64
+	state State
+}
+
+// Cache is one set-associative, LRU, write-back cache. Lines are identified
+// by line number (byte address >> log2(lineBytes)); the cache itself never
+// sees byte addresses.
+type Cache struct {
+	sets     [][]way // sets[i] ordered MRU first; len ≤ assoc
+	assoc    int
+	setMask  uint64
+	pageBits uint // log2(lines per page) for physical-index emulation; 0 = plain modulo
+	resident int
+}
+
+// New builds an empty cache with the given geometry. pageBytes, when
+// positive, enables physical-index emulation: real machines index large
+// caches with *physical* addresses, and the OS scatters physical page
+// frames, so equal-offset blocks of different arrays land in uncorrelated
+// sets. A simulator with virtual==physical and modulo indexing aliases such
+// blocks pathologically (every array's block k maps onto the same sets).
+// The emulation keeps the within-page index bits and deterministically
+// scrambles the page-number bits — contiguous within a page, pseudo-random
+// across pages, exactly like random frame allocation.
+func New(cfg machine.CacheConfig, pageBytes int) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic("cache: invalid config: " + err.Error())
+	}
+	c := &Cache{
+		sets:    make([][]way, cfg.Sets()), // per-set slices allocate lazily; most sets stay cold in small runs
+		assoc:   cfg.Assoc,
+		setMask: uint64(cfg.Sets() - 1),
+	}
+	if pageBytes > cfg.LineBytes {
+		c.pageBits = uint(bits.TrailingZeros(uint(pageBytes / cfg.LineBytes)))
+	}
+	return c
+}
+
+// set maps a line to its set index (see New for the indexing scheme).
+func (c *Cache) set(line uint64) int {
+	if c.pageBits == 0 {
+		return int(line & c.setMask)
+	}
+	offset := line & (1<<c.pageBits - 1)
+	frame := mix64(line >> c.pageBits)
+	return int((offset | frame<<c.pageBits) & c.setMask)
+}
+
+// mix64 is a splitmix64-style finalizer: a fixed, deterministic bijection
+// standing in for the OS's physical frame assignment.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SetOf exposes the line→set mapping (useful for constructing aliasing
+// access patterns in tests and conflict studies).
+func (c *Cache) SetOf(line uint64) int { return c.set(line) }
+
+// Lookup reports the state of a line without touching LRU order.
+func (c *Cache) Lookup(line uint64) (State, bool) {
+	s := c.sets[c.set(line)]
+	for _, w := range s {
+		if w.line == line {
+			return w.state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Touch moves a resident line to MRU position and returns its state. The
+// second result is false if the line is not resident.
+func (c *Cache) Touch(line uint64) (State, bool) {
+	s := c.sets[c.set(line)]
+	for i, w := range s {
+		if w.line == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = w
+			return w.state, true
+		}
+	}
+	return Invalid, false
+}
+
+// SetState changes the state of a resident line (e.g. S→M on a write
+// upgrade). It panics if the line is not resident: callers must have just
+// observed it via Lookup/Touch.
+func (c *Cache) SetState(line uint64, st State) {
+	s := c.sets[c.set(line)]
+	for i := range s {
+		if s[i].line == line {
+			s[i].state = st
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: SetState on non-resident line %#x", line))
+}
+
+// Eviction describes a line displaced by Insert.
+type Eviction struct {
+	Line  uint64
+	State State
+}
+
+// Insert places a line at MRU in the given state, evicting the LRU way of
+// the set if it is full. The evicted line, if any, is returned (callers use
+// it to maintain L2→L1 inclusion and to count writebacks of Modified lines).
+// Inserting an already-resident line just refreshes state and LRU order.
+func (c *Cache) Insert(line uint64, st State) (ev Eviction, evicted bool) {
+	if st == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	idx := c.set(line)
+	s := c.sets[idx]
+	for i, w := range s {
+		if w.line == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = way{line: line, state: st}
+			return Eviction{}, false
+		}
+	}
+	if len(s) < c.assoc {
+		s = append(s, way{})
+		copy(s[1:], s[:len(s)-1])
+		s[0] = way{line: line, state: st}
+		c.sets[idx] = s
+		c.resident++
+		return Eviction{}, false
+	}
+	victim := s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = way{line: line, state: st}
+	return Eviction{Line: victim.line, State: victim.state}, true
+}
+
+// Invalidate removes a line if resident, returning its prior state. This is
+// the path the directory's remote-write invalidations take.
+func (c *Cache) Invalidate(line uint64) (State, bool) {
+	idx := c.set(line)
+	s := c.sets[idx]
+	for i, w := range s {
+		if w.line == line {
+			c.sets[idx] = append(s[:i], s[i+1:]...)
+			c.resident--
+			return w.state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Downgrade moves a resident Modified/Exclusive line to Shared (a remote
+// read hitting a dirty or exclusive line). Returns the prior state.
+func (c *Cache) Downgrade(line uint64) (State, bool) {
+	s := c.sets[c.set(line)]
+	for i := range s {
+		if s[i].line == line {
+			prev := s[i].state
+			if prev == Modified || prev == Exclusive {
+				s[i].state = Shared
+			}
+			return prev, true
+		}
+	}
+	return Invalid, false
+}
+
+// Resident returns the number of lines currently cached.
+func (c *Cache) Resident() int { return c.resident }
+
+// ForEach calls fn for every resident line in unspecified (but
+// deterministic: set-major, MRU-first) order.
+func (c *Cache) ForEach(fn func(line uint64, st State)) {
+	for _, s := range c.sets {
+		for _, w := range s {
+			fn(w.line, w.state)
+		}
+	}
+}
+
+// Flush empties the cache, returning the number of Modified lines dropped
+// (writebacks).
+func (c *Cache) Flush() int {
+	dirty := 0
+	for i, s := range c.sets {
+		for _, w := range s {
+			if w.state == Modified {
+				dirty++
+			}
+		}
+		c.sets[i] = s[:0]
+	}
+	c.resident = 0
+	return dirty
+}
+
+// lineShift returns log2(lineBytes).
+func lineShift(lineBytes int) uint {
+	return uint(bits.TrailingZeros(uint(lineBytes)))
+}

@@ -1,0 +1,247 @@
+package cache
+
+import (
+	"fmt"
+
+	"scaltool/internal/machine"
+)
+
+// Level says where in the hierarchy an access was satisfied.
+type Level uint8
+
+// Access service levels.
+const (
+	HitL1 Level = iota
+	HitL2
+	MissAll // missed both levels; memory/directory involved
+)
+
+func (l Level) String() string {
+	switch l {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case MissAll:
+		return "mem"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// Outcome reports everything the simulator needs to cost one access.
+type Outcome struct {
+	Level  Level
+	L2Line uint64   // line number at L2 granularity
+	Kind   MissKind // valid only when Level == MissAll
+
+	// StoreToShared is set when a store found the line in state Shared.
+	// This mirrors the R10000 event the paper uses to derive ntsync
+	// ("a hardware event counter that is incremented when the processor
+	// stores on a location that it already has in state shared", §2.4.2).
+	StoreToShared bool
+
+	// UpgradeFromShared is set when the store required an ownership
+	// upgrade (S→M), which the simulator must charge as a directory
+	// transaction and record in its write set.
+	UpgradeFromShared bool
+
+	// WritebackL2 is set when the access displaced a Modified L2 line.
+	WritebackL2 bool
+}
+
+// FillFunc resolves an L2 miss: the simulator consults the directory
+// snapshot and returns the state the line is granted in (Exclusive or Shared
+// for reads, Modified for writes).
+type FillFunc func(l2Line uint64, write bool) State
+
+// Stats aggregates ground-truth counts maintained by the hierarchy itself.
+type Stats struct {
+	Accesses    uint64
+	L1Misses    uint64 // accesses that missed L1 (regardless of L2 outcome)
+	L2Misses    uint64
+	Compulsory  uint64
+	Coherence   uint64
+	Conflict    uint64
+	Writebacks  uint64
+	StoreShared uint64
+}
+
+// Hierarchy is one processor's private L1+L2 pair with inclusion
+// maintenance, ground-truth miss classification and the store-to-shared
+// event counter source.
+type Hierarchy struct {
+	l1, l2   *Cache
+	l1Shift  uint
+	l2Shift  uint
+	subLines uint64 // L1 lines per L2 line
+
+	everCached  map[uint64]struct{} // L2 lines this processor has ever cached
+	invalidated map[uint64]struct{} // L2 lines removed by remote-write invalidation while resident
+
+	stats Stats
+}
+
+// NewHierarchy builds the private hierarchy for one processor.
+func NewHierarchy(cfg machine.Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic("cache: invalid machine config: " + err.Error())
+	}
+	return &Hierarchy{
+		l1:          New(cfg.L1, cfg.PageBytes),
+		l2:          New(cfg.L2, cfg.PageBytes),
+		l1Shift:     lineShift(cfg.L1.LineBytes),
+		l2Shift:     lineShift(cfg.L2.LineBytes),
+		subLines:    uint64(cfg.L2.LineBytes / cfg.L1.LineBytes),
+		everCached:  make(map[uint64]struct{}),
+		invalidated: make(map[uint64]struct{}),
+	}
+}
+
+// L2LineOf maps a byte address to its L2 line number.
+func (h *Hierarchy) L2LineOf(addr uint64) uint64 { return addr >> h.l2Shift }
+
+// Access runs one load (write=false) or store (write=true) through the
+// hierarchy. fill is invoked exactly when the access misses in L2.
+func (h *Hierarchy) Access(addr uint64, write bool, fill FillFunc) Outcome {
+	h.stats.Accesses++
+	l1Line := addr >> h.l1Shift
+	l2Line := addr >> h.l2Shift
+	out := Outcome{L2Line: l2Line}
+
+	if st, ok := h.l1.Touch(l1Line); ok {
+		out.Level = HitL1
+		if write {
+			h.storeTo(st, l1Line, l2Line, &out)
+		}
+		return out
+	}
+	h.stats.L1Misses++
+
+	if st, ok := h.l2.Touch(l2Line); ok {
+		out.Level = HitL2
+		if write {
+			h.storeTo(st, l1Line, l2Line, &out)
+			st, _ = h.l2.Lookup(l2Line) // pick up the upgraded state
+		}
+		h.fillL1(l1Line, st, &out)
+		return out
+	}
+
+	// Full miss: classify against this processor's history.
+	h.stats.L2Misses++
+	out.Level = MissAll
+	if _, seen := h.everCached[l2Line]; !seen {
+		out.Kind = MissCompulsory
+		h.stats.Compulsory++
+	} else if _, inv := h.invalidated[l2Line]; inv {
+		out.Kind = MissCoherence
+		h.stats.Coherence++
+		delete(h.invalidated, l2Line)
+	} else {
+		out.Kind = MissConflict
+		h.stats.Conflict++
+	}
+	h.everCached[l2Line] = struct{}{}
+
+	st := fill(l2Line, write)
+	if write && st != Modified {
+		panic("cache: fill granted a write in non-Modified state " + st.String())
+	}
+	if st == Invalid {
+		panic("cache: fill granted Invalid state")
+	}
+	if ev, ok := h.l2.Insert(l2Line, st); ok {
+		h.evictL2(ev, &out)
+	}
+	h.fillL1(l1Line, st, &out)
+	return out
+}
+
+// storeTo handles the state transition of a store that hit (at either
+// level), updating both cache levels to keep their states coherent.
+func (h *Hierarchy) storeTo(st State, l1Line, l2Line uint64, out *Outcome) {
+	switch st {
+	case Shared:
+		out.StoreToShared = true
+		out.UpgradeFromShared = true
+		h.stats.StoreShared++
+	case Exclusive, Modified:
+		// Silent E→M / already M.
+	case Invalid:
+		panic("cache: store hit reported on Invalid line")
+	}
+	if _, ok := h.l2.Lookup(l2Line); ok {
+		h.l2.SetState(l2Line, Modified)
+	}
+	if _, ok := h.l1.Lookup(l1Line); ok {
+		h.l1.SetState(l1Line, Modified)
+	}
+}
+
+// fillL1 installs the accessed L1 sub-line; L1 evictions are silent (the L2
+// retains the data; dirty L1 lines write back into L2, which is already
+// tracked as Modified).
+func (h *Hierarchy) fillL1(l1Line uint64, st State, out *Outcome) {
+	h.l1.Insert(l1Line, st)
+	_ = out
+}
+
+// evictL2 handles inclusion and writeback accounting for a displaced L2
+// line.
+func (h *Hierarchy) evictL2(ev Eviction, out *Outcome) {
+	if ev.State == Modified {
+		h.stats.Writebacks++
+		if out != nil {
+			out.WritebackL2 = true
+		}
+	}
+	base := ev.Line * h.subLines
+	for i := uint64(0); i < h.subLines; i++ {
+		h.l1.Invalidate(base + i)
+	}
+}
+
+// InvalidateRemote applies a directory invalidation (a remote processor
+// wrote the line). It reports whether the line was resident in L2, in which
+// case the next miss on it is a coherence miss. The caller counts
+// invalidation traffic.
+func (h *Hierarchy) InvalidateRemote(l2Line uint64) bool {
+	_, ok := h.l2.Invalidate(l2Line)
+	if ok {
+		h.invalidated[l2Line] = struct{}{}
+	}
+	base := l2Line * h.subLines
+	for i := uint64(0); i < h.subLines; i++ {
+		h.l1.Invalidate(base + i)
+	}
+	return ok
+}
+
+// DowngradeRemote applies a directory downgrade (a remote processor read a
+// line this processor holds in M or E). Returns the prior L2 state.
+func (h *Hierarchy) DowngradeRemote(l2Line uint64) (State, bool) {
+	prev, ok := h.l2.Downgrade(l2Line)
+	if !ok {
+		return Invalid, false
+	}
+	base := l2Line * h.subLines
+	for i := uint64(0); i < h.subLines; i++ {
+		if _, resident := h.l1.Lookup(base + i); resident {
+			h.l1.Downgrade(base + i)
+		}
+	}
+	return prev, ok
+}
+
+// HasLine reports whether the L2 currently holds the line, and its state.
+func (h *Hierarchy) HasLine(l2Line uint64) (State, bool) { return h.l2.Lookup(l2Line) }
+
+// Stats returns the ground-truth counters accumulated so far.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResidentL2 returns the number of lines in L2.
+func (h *Hierarchy) ResidentL2() int { return h.l2.Resident() }
+
+// EverCached returns how many distinct L2 lines this processor has ever
+// cached (the per-processor footprint, used by the ssusage analogue).
+func (h *Hierarchy) EverCached() int { return len(h.everCached) }

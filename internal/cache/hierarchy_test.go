@@ -1,0 +1,304 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scaltool/internal/machine"
+)
+
+// testConfig returns a machine with a 256 B / 16 B-line / 2-way L1 and a
+// 1 KiB / 16 B-line / 2-way L2 (so L1 and L2 lines coincide), which keeps
+// the arithmetic in tests easy.
+func testConfig() machine.Config { return machine.TinyTest() }
+
+// grantRead is a FillFunc granting Exclusive to reads and Modified to writes
+// (the no-other-sharer directory answer).
+func grantRead(_ uint64, write bool) State {
+	if write {
+		return Modified
+	}
+	return Exclusive
+}
+
+// grantShared grants Shared to reads (some other processor also caches it).
+func grantShared(_ uint64, write bool) State {
+	if write {
+		return Modified
+	}
+	return Shared
+}
+
+func TestFirstAccessIsCompulsoryMiss(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	out := h.Access(0x100, false, grantRead)
+	if out.Level != MissAll || out.Kind != MissCompulsory {
+		t.Fatalf("first access = %+v, want compulsory full miss", out)
+	}
+	if s := h.Stats(); s.Compulsory != 1 || s.L2Misses != 1 || s.L1Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRepeatAccessHitsL1(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	h.Access(0x100, false, grantRead)
+	out := h.Access(0x100, false, nil) // nil fill: must not be called
+	if out.Level != HitL1 {
+		t.Fatalf("repeat access level = %v, want L1", out.Level)
+	}
+	if out.StoreToShared {
+		t.Fatal("read flagged StoreToShared")
+	}
+}
+
+func TestSameLineDifferentWordHitsL1(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	h.Access(0x100, false, grantRead)
+	out := h.Access(0x104, false, nil) // same 16-byte line
+	if out.Level != HitL1 {
+		t.Fatalf("same-line access = %v, want L1 hit", out.Level)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	cfg := testConfig() // L1: 16 lines (8 sets... actually 256/16=16 lines, 8 sets × 2)
+	h := NewHierarchy(cfg)
+	l1Lines := cfg.L1.Lines()
+	// Touch enough distinct lines to overflow L1 but stay inside L2.
+	n := l1Lines * 2
+	if n > cfg.L2.Lines() {
+		t.Fatalf("test geometry broken: %d > L2 %d", n, cfg.L2.Lines())
+	}
+	for i := 0; i < n; i++ {
+		h.Access(uint64(i*cfg.L1.LineBytes), false, grantRead)
+	}
+	// Re-walk: everything is still in L2, so no new L2 misses.
+	pre := h.Stats().L2Misses
+	hitsL2 := 0
+	for i := 0; i < n; i++ {
+		out := h.Access(uint64(i*cfg.L1.LineBytes), false, grantRead)
+		if out.Level == MissAll {
+			t.Fatalf("line %d missed L2 on re-walk", i)
+		}
+		if out.Level == HitL2 {
+			hitsL2++
+		}
+	}
+	if h.Stats().L2Misses != pre {
+		t.Fatal("re-walk caused L2 misses")
+	}
+	if hitsL2 == 0 {
+		t.Fatal("re-walk never hit L2; L1 eviction not happening?")
+	}
+}
+
+func TestConflictMissAfterCapacityEviction(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	l2Lines := cfg.L2.Lines()
+	// Stream through 2× the L2 capacity, then return to line 0: it was
+	// evicted, seen before, never invalidated → conflict miss.
+	for i := 0; i < 2*l2Lines; i++ {
+		h.Access(uint64(i*cfg.L2.LineBytes), false, grantRead)
+	}
+	out := h.Access(0, false, grantRead)
+	if out.Level != MissAll || out.Kind != MissConflict {
+		t.Fatalf("return access = %+v, want conflict miss", out)
+	}
+}
+
+func TestCoherenceMissAfterRemoteInvalidation(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	h.Access(0x200, false, grantRead)
+	line := h.L2LineOf(0x200)
+	if !h.InvalidateRemote(line) {
+		t.Fatal("InvalidateRemote did not find resident line")
+	}
+	out := h.Access(0x200, false, grantShared)
+	if out.Level != MissAll || out.Kind != MissCoherence {
+		t.Fatalf("post-invalidation access = %+v, want coherence miss", out)
+	}
+	// The classification mark must be consumed: evict it naturally next and
+	// the following miss is conflict, not coherence.
+	if s := h.Stats(); s.Coherence != 1 {
+		t.Fatalf("coherence count = %d, want 1", s.Coherence)
+	}
+}
+
+func TestInvalidateRemoteAbsentLine(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	if h.InvalidateRemote(123) {
+		t.Fatal("invalidation of absent line reported residency")
+	}
+	// Absent-line invalidation must NOT poison classification: a later
+	// first access is compulsory.
+	out := h.Access(123*uint64(testConfig().L2.LineBytes), false, grantRead)
+	if out.Kind != MissCompulsory {
+		t.Fatalf("kind = %v, want compulsory", out.Kind)
+	}
+}
+
+func TestStoreToSharedEvent(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	// Read the line granted Shared, then store to it: the store must raise
+	// StoreToShared + UpgradeFromShared, and leave the line Modified.
+	h.Access(0x300, false, grantShared)
+	out := h.Access(0x300, true, nil)
+	if out.Level != HitL1 || !out.StoreToShared || !out.UpgradeFromShared {
+		t.Fatalf("store outcome = %+v", out)
+	}
+	if st, ok := h.HasLine(h.L2LineOf(0x300)); !ok || st != Modified {
+		t.Fatalf("L2 state = %v,%v; want M", st, ok)
+	}
+	if s := h.Stats(); s.StoreShared != 1 {
+		t.Fatalf("StoreShared = %d, want 1", s.StoreShared)
+	}
+	// A second store is a silent M hit.
+	out = h.Access(0x300, true, nil)
+	if out.StoreToShared {
+		t.Fatal("second store flagged StoreToShared again")
+	}
+}
+
+func TestStoreToExclusiveSilentUpgrade(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	h.Access(0x400, false, grantRead) // Exclusive
+	out := h.Access(0x400, true, nil)
+	if out.StoreToShared || out.UpgradeFromShared {
+		t.Fatalf("E→M upgrade flagged as shared store: %+v", out)
+	}
+	if st, _ := h.HasLine(h.L2LineOf(0x400)); st != Modified {
+		t.Fatalf("state = %v, want M", st)
+	}
+}
+
+func TestWriteMissGrantsModified(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	out := h.Access(0x500, true, grantRead)
+	if out.Level != MissAll {
+		t.Fatalf("level = %v", out.Level)
+	}
+	if st, _ := h.HasLine(h.L2LineOf(0x500)); st != Modified {
+		t.Fatalf("state = %v, want M", st)
+	}
+}
+
+func TestFillGrantValidation(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	for _, bad := range []State{Invalid, Shared} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("write fill granting %v: want panic", bad)
+				}
+			}()
+			h2 := NewHierarchy(testConfig())
+			h2.Access(0, true, func(_ uint64, _ bool) State { return bad })
+		}()
+	}
+	_ = h
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	// Dirty twice the L2 capacity in distinct lines: capacity evictions of
+	// Modified lines must be counted as writebacks.
+	for i := 0; i < 2*cfg.L2.Lines(); i++ {
+		h.Access(uint64(i*cfg.L2.LineBytes), true, grantRead)
+	}
+	if s := h.Stats(); s.Writebacks == 0 {
+		t.Fatal("no writeback counted after dirty eviction")
+	}
+}
+
+func TestInclusionL2EvictionClearsL1(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	// Stream 2× the L2 capacity, then check: any line absent from L2 must
+	// also miss in L1 (inclusion) — a stale L1 copy would serve it.
+	total := 2 * cfg.L2.Lines()
+	for i := 0; i < total; i++ {
+		h.Access(uint64(i*cfg.L2.LineBytes), false, grantRead)
+	}
+	checked := false
+	for i := 0; i < total && !checked; i++ {
+		addr := uint64(i * cfg.L2.LineBytes)
+		if _, inL2 := h.HasLine(h.L2LineOf(addr)); !inL2 {
+			out := h.Access(addr, false, grantRead)
+			if out.Level != MissAll {
+				t.Fatalf("evicted L2 line %#x still serviced at %v (inclusion broken)", addr, out.Level)
+			}
+			checked = true
+		}
+	}
+	if !checked {
+		t.Fatal("no line was evicted despite 2x overflow")
+	}
+}
+
+func TestDowngradeRemote(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	h.Access(0x600, true, grantRead) // Modified
+	prev, ok := h.DowngradeRemote(h.L2LineOf(0x600))
+	if !ok || prev != Modified {
+		t.Fatalf("DowngradeRemote = %v,%v", prev, ok)
+	}
+	// Now a store must raise StoreToShared (line is S).
+	out := h.Access(0x600, true, nil)
+	if !out.StoreToShared {
+		t.Fatalf("store after downgrade: %+v, want StoreToShared", out)
+	}
+	if _, ok := h.DowngradeRemote(9999); ok {
+		t.Fatal("downgrade of absent line reported ok")
+	}
+}
+
+func TestEverCachedFootprint(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	for i := 0; i < 10; i++ {
+		h.Access(uint64(i*cfg.L2.LineBytes), false, grantRead)
+	}
+	// Revisits don't grow the footprint.
+	h.Access(0, false, grantRead)
+	if got := h.EverCached(); got != 10 {
+		t.Fatalf("EverCached = %d, want 10", got)
+	}
+}
+
+// Property: stats are internally consistent under random access streams —
+// L2Misses = Compulsory + Coherence + Conflict, L1Misses ≥ L2Misses,
+// Accesses ≥ L1Misses, and resident L2 lines never exceed capacity.
+func TestHierarchyStatsConsistencyProperty(t *testing.T) {
+	cfg := testConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHierarchy(cfg)
+		maxLine := uint64(4 * cfg.L2.Lines())
+		for i := 0; i < 2000; i++ {
+			addr := (uint64(rng.Intn(int(maxLine)))) * uint64(cfg.L1.LineBytes)
+			write := rng.Intn(3) == 0
+			h.Access(addr, write, grantShared)
+			if rng.Intn(50) == 0 {
+				h.InvalidateRemote(h.L2LineOf(addr))
+			}
+			if rng.Intn(50) == 0 {
+				h.DowngradeRemote(uint64(rng.Intn(int(maxLine / 4))))
+			}
+		}
+		s := h.Stats()
+		if s.L2Misses != s.Compulsory+s.Coherence+s.Conflict {
+			return false
+		}
+		if s.L1Misses < s.L2Misses || s.Accesses < s.L1Misses {
+			return false
+		}
+		return h.ResidentL2() <= cfg.L2.Lines()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

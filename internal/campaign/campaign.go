@@ -1,0 +1,333 @@
+// Package campaign plans and executes Scal-Tool's measurement runs.
+//
+// The plan is Table 3 of the paper: run the application at the base
+// data-set size s0 once for each processor count 1, 2, 4, …, 2^(n−1), and
+// on a uniprocessor once at each fractional size s0/2, s0/4, …, s0/2^(n−1).
+// Every run reads the hardware event counters and produces a single output
+// file — 2n−1 runs, 2^n+n−2 processors, 2n−1 files in total (Table 1's
+// Scal-Tool row). The uniprocessor runs double as the Figure 3a hit-rate
+// scan and (those that overflow the L2) as the t2/tm estimation points.
+//
+// The §2.4.2 estimation kernels (barrier loop, idle spin) are run once per
+// machine/processor-count and are shared by every application's analysis;
+// the paper's resource accounting does not charge them to the application.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/machine"
+	"scaltool/internal/model"
+	"scaltool/internal/perftools"
+	"scaltool/internal/sim"
+)
+
+// Plan is the run matrix of Table 3.
+type Plan struct {
+	App        string
+	S0         uint64   // base data-set size
+	ProcCounts []int    // 1, 2, 4, …, 2^(n−1)
+	UniSizes   []uint64 // descending fractional sizes s0/2 … s0/2^(n−1) (s0 itself is the ProcCounts[0] run)
+}
+
+// NewPlan builds the Table 3 plan for an application. maxProcs must be a
+// power of two ≥ 1; s0 == 0 selects the application's default size.
+func NewPlan(app apps.App, cfg machine.Config, maxProcs int, s0 uint64) (Plan, error) {
+	if maxProcs < 1 || maxProcs&(maxProcs-1) != 0 {
+		return Plan{}, fmt.Errorf("campaign: maxProcs must be a power of two ≥ 1, got %d", maxProcs)
+	}
+	if s0 == 0 {
+		s0 = app.DefaultBytes(cfg)
+	}
+	p := Plan{App: app.Name(), S0: s0}
+	for n := 1; n <= maxProcs; n *= 2 {
+		p.ProcCounts = append(p.ProcCounts, n)
+	}
+	for s := s0 / 2; len(p.UniSizes) < len(p.ProcCounts)-1; s /= 2 {
+		p.UniSizes = append(p.UniSizes, s)
+	}
+	// The t2/tm least squares needs several sizes that overflow the L2
+	// ("we use only data set sizes that overflow the L2 cache", §2.3).
+	// When s0 is close to the L2 capacity the Table 3 fractions don't
+	// provide them, so the plan adds a few sizes above s0 — the paper's
+	// "about 3-4 data set sizes" for the t2/tm triplets.
+	overflow := 0
+	threshold := uint64(1.5 * float64(cfg.L2.SizeBytes))
+	for _, s := range append([]uint64{s0}, p.UniSizes...) {
+		if s >= threshold {
+			overflow++
+		}
+	}
+	for f := 1.5; overflow < 2 && f <= 16; f *= 1.5 {
+		s := uint64(f * float64(s0))
+		if s <= s0 {
+			continue
+		}
+		p.UniSizes = append(p.UniSizes, s)
+		if s >= threshold {
+			overflow++
+		}
+	}
+	return p, nil
+}
+
+// N returns the number of processor-count points (the paper's n).
+func (p Plan) N() int { return len(p.ProcCounts) }
+
+// Cost returns the Table 1 Scal-Tool row: 2n−1 runs, 2^n+n−2 processors,
+// 2n−1 files.
+func (p Plan) Cost() perftools.ResourceCost {
+	n := p.N()
+	c := perftools.ResourceCost{}
+	for _, procs := range p.ProcCounts {
+		c.Runs++
+		c.Processors += procs
+		c.Files++
+	}
+	for range p.UniSizes {
+		c.Runs++
+		c.Processors++
+		c.Files++
+	}
+	_ = n
+	return c
+}
+
+// Result bundles everything one campaign produced.
+type Result struct {
+	Plan    Plan
+	Machine machine.Config
+
+	// BaseRuns maps processor count → the s0 run.
+	BaseRuns map[int]*sim.Result
+	// UniRuns maps achieved data-set size → the uniprocessor run
+	// (includes the s0 uniprocessor run).
+	UniRuns map[uint64]*sim.Result
+	// SyncKernels maps processor count → the barrier-loop kernel run.
+	SyncKernels map[int]*sim.Result
+	// SpinKernel is the idle-spin kernel run (at the largest count).
+	SpinKernel *sim.Result
+
+	// Skipped lists uniprocessor sizes the application could not be built
+	// at (too small for its grid); the model interpolates across them.
+	Skipped []uint64
+}
+
+// Inputs assembles the model's input set from the campaign measurements.
+func (r *Result) Inputs() (model.Inputs, error) {
+	in := model.Inputs{SyncKernel: map[int]model.Measurement{}}
+	for _, res := range r.BaseRuns {
+		in.Base = append(in.Base, model.FromReport(&res.Report))
+	}
+	for _, res := range r.UniRuns {
+		in.Uniproc = append(in.Uniproc, model.FromReport(&res.Report))
+	}
+	for n, res := range r.SyncKernels {
+		in.SyncKernel[n] = model.FromReport(&res.Report)
+	}
+	if r.SpinKernel == nil {
+		return in, fmt.Errorf("campaign: missing spin kernel run")
+	}
+	spin, err := model.SpinnerCPI(&r.SpinKernel.Report)
+	if err != nil {
+		return in, err
+	}
+	in.SpinCPI = spin
+	return in, nil
+}
+
+// Fit runs the model on the campaign's measurements.
+func (r *Result) Fit(opts model.Options) (*model.Model, error) {
+	in, err := r.Inputs()
+	if err != nil {
+		return nil, err
+	}
+	return model.Fit(in, opts)
+}
+
+// MeasuredMP returns the speedshop-measured MP cycles per processor count —
+// the validation series of Figures 7/10/13. (On real hardware this costs
+// the extra speedshop runs of Table 1; the simulator gives it away, which
+// is exactly why the validation is possible here.)
+func (r *Result) MeasuredMP() map[int]float64 {
+	out := make(map[int]float64, len(r.BaseRuns))
+	for n, res := range r.BaseRuns {
+		prof := perftools.Speedshop(res)
+		out[n] = prof.MPCycles()
+	}
+	return out
+}
+
+// Runner executes campaigns.
+type Runner struct {
+	Cfg machine.Config
+	// Workers bounds concurrent simulated runs (0 = GOMAXPROCS).
+	Workers int
+	// SpinKernelProcs selects the spin-kernel processor count (0 = the
+	// plan's largest).
+	SpinKernelProcs int
+}
+
+type job struct {
+	procs int
+	size  uint64
+	kind  int // 0 base, 1 uni, 2 syncKernel
+}
+
+// Run executes the plan for an application. Independent runs execute
+// concurrently on a worker pool; results are deterministic regardless of
+// worker count.
+func (rn *Runner) Run(app apps.App, plan Plan) (*Result, error) {
+	if err := rn.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Plan:        plan,
+		Machine:     rn.Cfg,
+		BaseRuns:    map[int]*sim.Result{},
+		UniRuns:     map[uint64]*sim.Result{},
+		SyncKernels: map[int]*sim.Result{},
+	}
+
+	var jobs []job
+	for _, n := range plan.ProcCounts {
+		jobs = append(jobs, job{procs: n, size: plan.S0, kind: 0})
+		jobs = append(jobs, job{procs: n, kind: 2})
+	}
+	for _, s := range plan.UniSizes {
+		jobs = append(jobs, job{procs: 1, size: s, kind: 1})
+	}
+
+	workers := rn.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, workers)
+	record := func(j job, out *sim.Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			// A size too small for the app's grid is an expected skip for
+			// uniprocessor fractions; anything else is fatal.
+			if j.kind == 1 {
+				res.Skipped = append(res.Skipped, j.size)
+				return
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		switch j.kind {
+		case 0:
+			res.BaseRuns[j.procs] = out
+			if j.procs == 1 {
+				res.UniRuns[out.DataBytes] = out // the s0 uniproc run doubles as a curve point
+			}
+		case 1:
+			res.UniRuns[out.DataBytes] = out
+		case 2:
+			res.SyncKernels[j.procs] = out
+		}
+	}
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var prog *sim.Program
+			var err error
+			switch j.kind {
+			case 0, 1:
+				prog, err = app.Build(rn.Cfg, j.procs, j.size)
+			case 2:
+				prog, err = apps.BuildSyncKernel(rn.Cfg, j.procs, apps.SyncKernelBarriers)
+			}
+			if err != nil {
+				record(j, nil, err)
+				return
+			}
+			out, err := sim.Run(rn.Cfg, prog)
+			record(j, out, err)
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(res.Skipped, func(i, k int) bool { return res.Skipped[i] < res.Skipped[k] })
+
+	// The idle-spin kernel (cpi_imb).
+	spinProcs := rn.SpinKernelProcs
+	if spinProcs == 0 {
+		spinProcs = plan.ProcCounts[len(plan.ProcCounts)-1]
+	}
+	if spinProcs < 2 {
+		spinProcs = 2
+	}
+	prog, err := apps.BuildSpinKernel(rn.Cfg, spinProcs, 20, 50_000)
+	if err != nil {
+		return nil, err
+	}
+	if res.SpinKernel, err = sim.Run(rn.Cfg, prog); err != nil {
+		return nil, err
+	}
+	if len(res.UniRuns) < 3 {
+		return nil, fmt.Errorf("campaign: only %d usable uniprocessor runs (app grid too coarse for the plan)", len(res.UniRuns))
+	}
+	return res, nil
+}
+
+// SegmentInputs assembles the model's inputs restricted to the regions
+// whose names contain substr — per-segment analysis, the paper's "plots can
+// be obtained for the overall application or for a segment of the
+// application that is considered particularly important" (§2.1). The
+// estimation kernels are shared with the whole-application analysis.
+func (r *Result) SegmentInputs(substr string) (model.Inputs, error) {
+	in := model.Inputs{SyncKernel: map[int]model.Measurement{}}
+	for _, res := range r.BaseRuns {
+		rep, err := res.SegmentReport(substr)
+		if err != nil {
+			return in, err
+		}
+		in.Base = append(in.Base, model.FromReport(rep))
+	}
+	for _, res := range r.UniRuns {
+		rep, err := res.SegmentReport(substr)
+		if err != nil {
+			return in, err
+		}
+		in.Uniproc = append(in.Uniproc, model.FromReport(rep))
+	}
+	for n, res := range r.SyncKernels {
+		in.SyncKernel[n] = model.FromReport(&res.Report)
+	}
+	if r.SpinKernel == nil {
+		return in, fmt.Errorf("campaign: missing spin kernel run")
+	}
+	spin, err := model.SpinnerCPI(&r.SpinKernel.Report)
+	if err != nil {
+		return in, err
+	}
+	in.SpinCPI = spin
+	return in, nil
+}
+
+// FitSegment fits the scalability model for one application segment.
+func (r *Result) FitSegment(substr string, opts model.Options) (*model.Model, error) {
+	in, err := r.SegmentInputs(substr)
+	if err != nil {
+		return nil, err
+	}
+	return model.Fit(in, opts)
+}

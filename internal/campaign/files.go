@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"scaltool/internal/counters"
+	"scaltool/internal/model"
+)
+
+// This file closes the loop on Table 1's "files" column: each run's counter
+// report is one JSON file, a whole campaign is a directory of 2n−1 of them
+// (plus the shared kernel files), and the model can be fitted straight from
+// such a directory — the workflow a real Scal-Tool user would have, where
+// measurement and analysis happen on different days or machines.
+
+// fileName builds the canonical report file name for a run.
+func fileName(kind string, procs int, size uint64) string {
+	return fmt.Sprintf("%s_p%02d_s%d.json", kind, procs, size)
+}
+
+// SaveReports writes every counter report of the campaign into dir (created
+// if needed). It returns the number of files written.
+func (r *Result) SaveReports(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	write := func(kind string, rep *counters.RunReport) error {
+		f, err := os.Create(filepath.Join(dir, fileName(kind, rep.Procs, rep.DataBytes)))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+	for _, res := range r.BaseRuns {
+		if err := write("base", &res.Report); err != nil {
+			return n, err
+		}
+	}
+	base1 := r.BaseRuns[1]
+	for _, res := range r.UniRuns {
+		if res == base1 {
+			continue // already saved as the 1-processor base run
+		}
+		if err := write("uni", &res.Report); err != nil {
+			return n, err
+		}
+	}
+	for _, res := range r.SyncKernels {
+		if err := write("ksync", &res.Report); err != nil {
+			return n, err
+		}
+	}
+	if r.SpinKernel != nil {
+		if err := write("kspin", &r.SpinKernel.Report); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// LoadInputs reads a directory of counter-report files written by
+// SaveReports and assembles the model's inputs. Nothing but the files is
+// needed — the simulator, the application, and the plan are not consulted.
+func LoadInputs(dir string) (model.Inputs, error) {
+	var in model.Inputs
+	in.SyncKernel = map[int]model.Measurement{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return in, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic assembly
+	var spin *counters.RunReport
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return in, err
+		}
+		rep, err := counters.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return in, fmt.Errorf("campaign: %s: %w", name, err)
+		}
+		m := model.FromReport(rep)
+		switch {
+		case strings.HasPrefix(name, "base_"):
+			in.Base = append(in.Base, m)
+			if rep.Procs == 1 {
+				in.Uniproc = append(in.Uniproc, m)
+			}
+		case strings.HasPrefix(name, "uni_"):
+			in.Uniproc = append(in.Uniproc, m)
+		case strings.HasPrefix(name, "ksync_"):
+			in.SyncKernel[rep.Procs] = m
+		case strings.HasPrefix(name, "kspin_"):
+			spin = rep
+		default:
+			return in, fmt.Errorf("campaign: unrecognized report file %q", name)
+		}
+	}
+	if spin == nil {
+		return in, fmt.Errorf("campaign: %s has no spin-kernel report", dir)
+	}
+	cpiImb, err := model.SpinnerCPI(spin)
+	if err != nil {
+		return in, err
+	}
+	in.SpinCPI = cpiImb
+	return in, nil
+}
+
+// FitDir loads a report directory and fits the model.
+func FitDir(dir string, opts model.Options) (*model.Model, error) {
+	in, err := LoadInputs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return model.Fit(in, opts)
+}

@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/model"
+)
+
+func TestSaveLoadFitRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	c := cfg()
+	app, _ := apps.ByName("swim")
+	plan, err := NewPlan(app, c, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := &Runner{Cfg: c}
+	res, err := rn.Run(app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	nFiles, err := res.SaveReports(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1's file count: base runs + fractional uniproc runs (the s0
+	// uniproc run is shared), plus the kernel files.
+	appFiles := len(res.BaseRuns) + len(res.UniRuns) - 1
+	kernelFiles := len(res.SyncKernels) + 1
+	if nFiles != appFiles+kernelFiles {
+		t.Fatalf("files = %d, want %d app + %d kernel", nFiles, appFiles, kernelFiles)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != nFiles {
+		t.Fatalf("dir has %d entries (%v), want %d", len(entries), err, nFiles)
+	}
+
+	// Fit the model from the files alone and compare to the in-memory fit.
+	opts := model.DefaultOptions(c.L2.SizeBytes)
+	fromFiles, err := FitDir(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem, err := res.Fit(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFiles.CPI0 != inMem.CPI0 || fromFiles.Tm1 != inMem.Tm1 || fromFiles.T2 != inMem.T2 {
+		t.Fatalf("file fit differs: cpi0 %g vs %g, tm %g vs %g",
+			fromFiles.CPI0, inMem.CPI0, fromFiles.Tm1, inMem.Tm1)
+	}
+	bf, bm := fromFiles.Breakdown(), inMem.Breakdown()
+	for i := range bf {
+		if bf[i] != bm[i] {
+			t.Fatalf("breakdown point %d differs: %+v vs %+v", i, bf[i], bm[i])
+		}
+	}
+}
+
+func TestLoadInputsErrors(t *testing.T) {
+	if _, err := LoadInputs("/nonexistent-dir"); err == nil {
+		t.Error("missing dir accepted")
+	}
+	dir := t.TempDir()
+	if _, err := LoadInputs(dir); err == nil {
+		t.Error("empty dir accepted (no spin kernel)")
+	}
+	// Unrecognized file name.
+	if err := os.WriteFile(filepath.Join(dir, "bogus_p01_s1.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadInputs(dir); err == nil {
+		t.Error("bogus report accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package counters
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON checks the report parser never panics and that anything it
+// accepts passes validation and round-trips.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	r := &RunReport{
+		Machine: "m", App: "a", Procs: 1, DataBytes: 64,
+		PerProc: make([]Set, 1), WallCycles: 10,
+	}
+	r.PerProc[0].Add(Cycles, 10)
+	r.PerProc[0].Add(GradInstr, 8)
+	if err := r.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"procs":-1}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("accepted report fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := rep.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted report cannot serialize: %v", err)
+		}
+		rep2, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if rep2.Total() != rep.Total() {
+			t.Fatal("round trip changed the counters")
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package counters
+
+// The R10000 has only two physical counters. Counting more than two events
+// in one run requires multiplexing: perfex -a -mp rotates the event set
+// across time slices and extrapolates each event's count from the fraction
+// of time it was actually counted. The extrapolation is unbiased but noisy.
+//
+// Multiplex models that: given the true counter values, it returns what a
+// two-counter multiplexed measurement would report, with a deterministic
+// per-event relative perturbation derived from a seed (so runs are
+// reproducible). Cycles and graduated instructions are reported exactly —
+// perfex always keeps one rotation slot for the pair it needs for timing —
+// which matches observed perfex behaviour where cycle counts are stable and
+// cache-miss counts jitter.
+
+// MuxOptions configures the multiplexed-measurement emulation.
+type MuxOptions struct {
+	// RelError is the worst-case relative error injected into multiplexed
+	// events (default 0.02 ≈ what perfex multiplexing typically shows on
+	// steady workloads).
+	RelError float64
+	// Seed makes the perturbation deterministic per run.
+	Seed uint64
+}
+
+// DefaultMux returns the default emulation settings.
+func DefaultMux(seed uint64) MuxOptions { return MuxOptions{RelError: 0.02, Seed: seed} }
+
+// Multiplex returns the counter values a 2-counter multiplexed run would
+// report for the given true values.
+func Multiplex(truth Set, opt MuxOptions) Set {
+	if opt.RelError < 0 {
+		opt.RelError = 0
+	}
+	out := truth
+	for e := 0; e < NumEvents; e++ {
+		switch Event(e) {
+		case Cycles, GradInstr:
+			continue // exact
+		}
+		v := truth[e]
+		if v == 0 {
+			continue
+		}
+		// Deterministic perturbation in [-RelError, +RelError].
+		h := splitmix64(opt.Seed ^ (uint64(e)+1)*0x9e3779b97f4a7c15)
+		frac := float64(h%2_000_001)/1_000_000 - 1 // [-1, 1]
+		scaled := float64(v) * (1 + frac*opt.RelError)
+		if scaled < 0 {
+			scaled = 0
+		}
+		out[e] = uint64(scaled + 0.5)
+	}
+	return out
+}
+
+// MultiplexReport applies Multiplex to every processor of a report,
+// returning a new report. The seed is mixed with the processor index so
+// different processors jitter independently.
+func MultiplexReport(r *RunReport, opt MuxOptions) *RunReport {
+	out := *r
+	out.PerProc = make([]Set, len(r.PerProc))
+	for p, s := range r.PerProc {
+		po := opt
+		po.Seed = splitmix64(opt.Seed ^ uint64(p) + 0xabcdef)
+		out.PerProc[p] = Multiplex(s, po)
+	}
+	return &out
+}
+
+// splitmix64 is the standard 64-bit mixing function — deterministic,
+// seedable, and good enough for perturbation generation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

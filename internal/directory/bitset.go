@@ -1,0 +1,60 @@
+package directory
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector over processor IDs — the literal
+// "bit vector" of the Origin 2000's directory scheme the paper describes
+// ("fully cache coherent in hardware, supported by a directory-based scheme
+// using bit vectors", §3).
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset over n processors.
+func NewBitset(n int) Bitset {
+	return Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Set marks processor p.
+func (b *Bitset) Set(p int) { b.words[p>>6] |= 1 << (uint(p) & 63) }
+
+// Clear unmarks processor p.
+func (b *Bitset) Clear(p int) { b.words[p>>6] &^= 1 << (uint(p) & 63) }
+
+// Has reports whether processor p is marked.
+func (b *Bitset) Has(p int) bool { return b.words[p>>6]&(1<<(uint(p)&63)) != 0 }
+
+// Count returns the number of marked processors.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears all bits.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every marked processor, in ascending order.
+func (b *Bitset) ForEach(fn func(p int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			p := wi<<6 + bits.TrailingZeros64(w)
+			fn(p)
+			w &= w - 1
+		}
+	}
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return Bitset{words: w, n: b.n}
+}

@@ -1,0 +1,234 @@
+// Package directory implements the bit-vector cache-coherence directory of
+// the simulated DSM machine, at region granularity.
+//
+// The simulator executes barrier-delimited parallel regions. Within a
+// region every processor runs against an *immutable* directory snapshot
+// (deterministic and embarrassingly parallel); each processor buffers the
+// set of lines it read-filled and wrote. At the region's closing barrier the
+// buffers are merged, in processor order, into the directory:
+//
+//   - a written line's previous cached copies elsewhere are invalidated
+//     (they become coherence misses on their owners' next access),
+//   - read lines gain sharers,
+//   - lines touched by several processors with at least one writer in the
+//     same region are counted as true/false-sharing events (the effect the
+//     paper's model deliberately neglects and lists as future work).
+//
+// Like the real Origin directory, sharer bits are conservative: caches evict
+// silently, so an invalidation may target a processor that no longer holds
+// the line — the cache model treats that as a no-op, exactly as hardware
+// does.
+package directory
+
+import "fmt"
+
+// LineInfo is the immutable answer to a snapshot probe.
+type LineInfo struct {
+	Cached  bool // some processor may hold the line
+	Owner   int  // exclusive owner, -1 if none
+	Dirty   bool // owner's copy is Modified
+	Sharers int  // number of sharers (including a clean owner)
+}
+
+type entry struct {
+	owner   int16 // -1 when the line is shared or uncached
+	dirty   bool
+	sharers Bitset
+}
+
+// Directory tracks the global coherence state of every line that has ever
+// been cached.
+type Directory struct {
+	procs int
+	lines map[uint64]*entry
+
+	invalidationsSent uint64
+	sharingLines      uint64 // region-sharing events (≥2 procs, ≥1 writer)
+}
+
+// New creates an empty directory for a machine with procs processors.
+func New(procs int) *Directory {
+	if procs <= 0 {
+		panic(fmt.Sprintf("directory: bad processor count %d", procs))
+	}
+	return &Directory{procs: procs, lines: make(map[uint64]*entry)}
+}
+
+// Probe returns the current (snapshot) state of a line. During a region the
+// directory is only probed, never mutated, so concurrent probes from the
+// per-processor simulation goroutines are safe.
+func (d *Directory) Probe(line uint64) LineInfo {
+	e, ok := d.lines[line]
+	if !ok {
+		return LineInfo{Owner: -1}
+	}
+	info := LineInfo{Cached: true, Owner: int(e.owner), Dirty: e.dirty, Sharers: e.sharers.Count()}
+	return info
+}
+
+// RegionAccess is one processor's buffered coherence activity for a region.
+// ReadFills lists lines the processor filled (L2 misses serviced) for
+// reading; Writes lists lines it wrote (write misses and S→M upgrades).
+// Slices must not contain duplicates; order is irrelevant.
+type RegionAccess struct {
+	Proc      int
+	ReadFills []uint64
+	Writes    []uint64
+}
+
+// Invalidation directs the simulator to remove a line from a processor's
+// caches.
+type Invalidation struct {
+	Line uint64
+	Proc int
+}
+
+// MergeResult reports the cache maintenance the simulator must apply and
+// the sharing statistics of the region.
+type MergeResult struct {
+	// Invalidations lists (line, processor) pairs whose cached copies are
+	// stale after the region's writes. Deterministic order: by merge
+	// sequence, then processor.
+	Invalidations []Invalidation
+	// Downgrades lists dirty/exclusive copies that must fall to Shared
+	// because a remote processor read the line this region.
+	Downgrades []Invalidation
+	// SharingLines counts lines accessed by ≥2 processors with ≥1 writer
+	// within this region (true or false sharing at line granularity).
+	SharingLines int
+}
+
+// Merge folds a region's buffered accesses into the directory, in processor
+// order, and returns the invalidations/downgrades to apply to the caches.
+func (d *Directory) Merge(accesses []RegionAccess) MergeResult {
+	var res MergeResult
+
+	// Pass 0: detect intra-region sharing (≥2 distinct procs touching a
+	// line, at least one writing it).
+	type touch struct {
+		readers, writers Bitset
+	}
+	touched := make(map[uint64]*touch)
+	record := func(line uint64, proc int, write bool) {
+		t, ok := touched[line]
+		if !ok {
+			t = &touch{readers: NewBitset(d.procs), writers: NewBitset(d.procs)}
+			touched[line] = t
+		}
+		if write {
+			t.writers.Set(proc)
+		} else {
+			t.readers.Set(proc)
+		}
+	}
+	for _, a := range accesses {
+		d.checkProc(a.Proc)
+		for _, l := range a.ReadFills {
+			record(l, a.Proc, false)
+		}
+		for _, l := range a.Writes {
+			record(l, a.Proc, true)
+		}
+	}
+	for _, t := range touched {
+		if t.writers.Count() >= 1 && t.writers.Count()+t.readers.Count() >= 2 {
+			// Distinct processors? A proc may both read-fill and write.
+			distinct := t.readers.Clone()
+			t.writers.ForEach(func(p int) { distinct.Set(p) })
+			if distinct.Count() >= 2 {
+				res.SharingLines++
+				d.sharingLines++
+			}
+		}
+	}
+
+	// Pass 1: writes, in processor order. The last writer in processor
+	// order becomes the owner; every other holder is invalidated.
+	for _, a := range accesses {
+		for _, line := range a.Writes {
+			e := d.ensure(line)
+			// Invalidate all current holders except the writer.
+			e.sharers.ForEach(func(p int) {
+				if p != a.Proc {
+					res.Invalidations = append(res.Invalidations, Invalidation{Line: line, Proc: p})
+					d.invalidationsSent++
+				}
+			})
+			if e.owner >= 0 && int(e.owner) != a.Proc && !e.sharers.Has(int(e.owner)) {
+				res.Invalidations = append(res.Invalidations, Invalidation{Line: line, Proc: int(e.owner)})
+				d.invalidationsSent++
+			}
+			e.sharers.Reset()
+			e.sharers.Set(a.Proc)
+			e.owner = int16(a.Proc)
+			e.dirty = true
+		}
+	}
+
+	// Pass 2: read fills. Readers join the sharer set; a dirty owner other
+	// than the reader is downgraded to Shared.
+	for _, a := range accesses {
+		for _, line := range a.ReadFills {
+			e := d.ensure(line)
+			if e.owner >= 0 && int(e.owner) != a.Proc {
+				if e.dirty {
+					res.Downgrades = append(res.Downgrades, Invalidation{Line: line, Proc: int(e.owner)})
+				}
+				e.dirty = false
+				e.owner = -1
+			}
+			if e.sharers.Count() == 0 && e.owner < 0 {
+				// First and only holder: becomes clean exclusive owner.
+				e.owner = int16(a.Proc)
+				e.dirty = false
+			}
+			e.sharers.Set(a.Proc)
+			if e.sharers.Count() > 1 {
+				e.owner = -1
+				e.dirty = false
+			}
+		}
+	}
+	return res
+}
+
+// Evicted tells the directory a processor silently dropped a line (capacity
+// replacement). Real hardware does not do this — the Origin directory is
+// conservative — but tests use it to verify conservativeness is harmless,
+// and what-if studies can model precise directories with it.
+func (d *Directory) Evicted(line uint64, proc int) {
+	d.checkProc(proc)
+	e, ok := d.lines[line]
+	if !ok {
+		return
+	}
+	e.sharers.Clear(proc)
+	if int(e.owner) == proc {
+		e.owner = -1
+		e.dirty = false
+	}
+}
+
+// InvalidationsSent returns the total invalidation messages generated.
+func (d *Directory) InvalidationsSent() uint64 { return d.invalidationsSent }
+
+// SharingLineEvents returns the cumulative region-sharing events observed.
+func (d *Directory) SharingLineEvents() uint64 { return d.sharingLines }
+
+// TrackedLines returns the number of lines with directory state.
+func (d *Directory) TrackedLines() int { return len(d.lines) }
+
+func (d *Directory) ensure(line uint64) *entry {
+	e, ok := d.lines[line]
+	if !ok {
+		e = &entry{owner: -1, sharers: NewBitset(d.procs)}
+		d.lines[line] = e
+	}
+	return e
+}
+
+func (d *Directory) checkProc(p int) {
+	if p < 0 || p >= d.procs {
+		panic(fmt.Sprintf("directory: processor %d out of range [0,%d)", p, d.procs))
+	}
+}

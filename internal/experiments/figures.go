@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scaltool/internal/model"
+	"scaltool/internal/perftools"
+	"scaltool/internal/table"
+)
+
+// Fig2 reproduces the conceptual Figures 1/2: the execution-time components
+// of one application (Swim) under real and estimated conditions — the Base
+// curve, the curve with the caching-space effect removed, and the curve
+// with the multiprocessor factors removed as well, with the shaded region
+// split into synchronization and imbalance.
+func (s *Suite) Fig2() string {
+	a := s.mustAnalysis("swim")
+	tb := table.New("Execution-time components, Swim (cycles accumulated over processors)",
+		"#procs", "#Base (a)", "#Base-L2Lim (b)", "#Sync", "#Imb", "#Base-L2Lim-MP (c)")
+	for _, bp := range a.model.Breakdown() {
+		tb.Row(bp.Procs, bp.Base, bp.NoL2, bp.Sync, bp.Imb, bp.NoMP)
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\nCurve (a) is measured; (b) removes insufficient caching space; (c) further\nremoves the multiprocessor factors. The (b)-(c) gap splits into Sync and Imb.\n")
+	return b.String()
+}
+
+// Fig3a reproduces the uniprocessor L2 hit-rate scan that locates the
+// compulsory miss rate: the rate rises as the data set shrinks, peaks at
+// s_max, and can dip again at the smallest sizes.
+func (s *Suite) Fig3a() string {
+	a := s.mustAnalysis("t3dheat")
+	sc := table.NewSeries("L2hitr(s,1) — T3dheat uniprocessor scan", "data-set bytes", "local L2 hit rate")
+	tb := table.New("", "#data-set bytes", "#L2 hit rate")
+	for _, p := range a.model.HitRateScan() {
+		sc.Point(fmt.Sprintf("%.0f", p.X), p.Y)
+		tb.Row(int(p.X), p.Y)
+	}
+	var b strings.Builder
+	b.WriteString(sc.String())
+	b.WriteString("\n")
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\ncompulsory miss rate = %.4f at s_max = %.0f bytes\n", a.model.Compulsory, a.model.SMax)
+	return b.String()
+}
+
+// Fig3b reproduces the estimated infinite-L2 hit rate against the measured
+// multiprocessor hit rate: above it at low counts (conflict misses), and
+// converging at high counts.
+func (s *Suite) Fig3b() string {
+	a := s.mustAnalysis("t3dheat")
+	tb := table.New("L2hitr_inf(s0,n) vs measured L2hitr(s0,n) — T3dheat",
+		"#procs", "#measured", "#infinite-L2", "#estimated Coh(s0,n)")
+	for _, p := range a.model.InfiniteHitRates() {
+		pe, _ := a.model.Point(p.Procs)
+		tb.Row(p.Procs, p.Measured, p.Infinite, pe.Coh)
+	}
+	return tb.String()
+}
+
+// Fig4 reproduces the cpi(inf,inf) curve: the floor CPI after removing
+// caching-space limits and multiprocessor factors, as a function of the
+// processor count.
+func (s *Suite) Fig4() string {
+	a := s.mustAnalysis("t3dheat")
+	tb := table.New("cpi(inf,inf)(s0,n) — T3dheat", "#procs", "#cpi(inf,inf)", "#tm(n)")
+	for _, pe := range a.model.Points {
+		tb.Row(pe.Procs, pe.CPIInfInf, pe.TmN)
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\nNote: with the MP-decontaminated tm(n) (DESIGN.md), tm's growth reflects only\nphysical distance; under first-touch placement most misses stay local, so the\ncurve rises more gently than the paper's Figure 4 sketch.\n")
+	return b.String()
+}
+
+// SpeedupFig reproduces Figures 5/8/11: the measured speedup curve.
+func (s *Suite) SpeedupFig(app string) string {
+	a := s.mustAnalysis(app)
+	sc := table.NewSeries(fmt.Sprintf("Speedup — %s", app), "processors", "speedup")
+	tb := table.New("", "#procs", "#wall cycles", "#speedup")
+	for _, sp := range a.model.Speedups() {
+		sc.Point(fmt.Sprintf("n=%d", sp.Procs), sp.Speedup)
+		tb.Row(sp.Procs, sp.Wall, sp.Speedup)
+	}
+	return sc.String() + "\n" + tb.String()
+}
+
+// BreakdownFig reproduces Figures 6/9/12: cycles accumulated over all
+// processors, with the estimated effects subtracted curve by curve.
+func (s *Suite) BreakdownFig(app string) string {
+	a := s.mustAnalysis(app)
+	tb := table.New(fmt.Sprintf("Scalability bottlenecks — %s (cycles accumulated over processors)", app),
+		"#procs", "#Base", "#Base-L2Lim", "#Base-L2Lim-Sync", "#Base-L2Lim-Imb", "#Base-L2Lim-MP", "#L2Lim%", "#Sync%", "#Imb%")
+	for _, bp := range a.model.Breakdown() {
+		tb.Row(bp.Procs, bp.Base, bp.NoL2, bp.NoL2-bp.Sync, bp.NoL2-bp.Imb, bp.NoL2-bp.MP(),
+			pct(bp.L2Lim(), bp.Base), pct(bp.Sync, bp.Base), pct(bp.Imb, bp.Base))
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	switch app {
+	case "t3dheat":
+		b.WriteString("\nShape check: L2Lim dominates at n=1 and fades by 8-16 processors; past that the\nMP cost — mostly synchronization — grows until it dominates at 32 (paper: ~75%).\n")
+	case "hydro2d":
+		b.WriteString("\nShape check: L2Lim vanishes by 2-4 processors; load imbalance (the serial\nsections) dominates the MP cost throughout (paper Figure 9).\n")
+	case "swim":
+		b.WriteString("\nShape check: L2Lim is negligible past a few processors; imbalance dominates\nover synchronization (paper Figure 12).\n")
+	}
+	return b.String()
+}
+
+// ValidationFig reproduces Figures 7/10/13: the Base−MP curve as estimated
+// by the model against the speedshop-measured one.
+func (s *Suite) ValidationFig(app string) string {
+	a := s.mustAnalysis(app)
+	measured := a.campaign.MeasuredMP()
+	tb := table.New(fmt.Sprintf("Validation — %s: Base−MP, model vs speedshop analogue", app),
+		"#procs", "#Base", "#model MP", "#measured MP", "#model Base-MP", "#measured Base-MP", "#diff (% of Base)")
+	procs := sortedProcs(a.campaign)
+	var worst float64
+	var worstN int
+	for _, n := range procs {
+		bp := breakdownAt(a, n)
+		meas := measured[n]
+		diff := 100 * (bp.MP() - meas) / bp.Base
+		if abs(diff) > abs(worst) {
+			worst, worstN = diff, n
+		}
+		tb.Row(n, bp.Base, bp.MP(), meas, bp.Base-bp.MP(), bp.Base-meas, diff)
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nLargest divergence: %+.1f%% of accumulated cycles at %d processors", worst, worstN)
+	switch app {
+	case "hydro2d":
+		b.WriteString(" (paper: 9% at 32).\n")
+	case "swim":
+		b.WriteString(" (paper: 14% at 32, from non-synchronization data sharing — here the\nsame sharing shows up mostly as a Sync-vs-Imb split error; see EXPERIMENTS.md).\n")
+	default:
+		b.WriteString(" (paper: \"remarkably similar\" curves).\n")
+	}
+	// Per-routine speedshop profile at the largest count (what the paper's
+	// speedshop PC sampling reports).
+	prof := perftools.Speedshop(a.campaign.BaseRuns[s.MaxProcs])
+	tb2 := table.New(fmt.Sprintf("speedshop profile at %d processors", s.MaxProcs), "routine", "#cycles")
+	tb2.Row("mp_barrier()+mp_lock_try() [sync]", prof.BarrierCycles)
+	tb2.Row("mp_slave_wait_for_work() [imbalance]", prof.WaitCycles)
+	rs := prof.Routines
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Cycles > rs[j].Cycles })
+	for i, r := range rs {
+		if i >= 6 {
+			break
+		}
+		tb2.Row(r.Name, r.Cycles)
+	}
+	b.WriteString("\n")
+	b.WriteString(tb2.String())
+	return b.String()
+}
+
+// breakdownAt returns the breakdown point for a processor count.
+func breakdownAt(a *appAnalysis, procs int) model.BreakdownPoint {
+	for _, p := range a.model.Breakdown() {
+		if p.Procs == procs {
+			return p
+		}
+	}
+	return model.BreakdownPoint{Procs: procs}
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/campaign"
+	"scaltool/internal/machine"
+	"scaltool/internal/perftools"
+	"scaltool/internal/sim"
+	"scaltool/internal/table"
+)
+
+// Table1 reproduces the resource-cost comparison for measuring execution
+// time plus synchronization/spinning fractions at processor counts
+// 1, 2, …, 2^(n−1). The paper's n=6 example: Scal-Tool needs about 50% of
+// the processors and far fewer files.
+func (s *Suite) Table1() string {
+	var b strings.Builder
+	tb := table.New("Resource needs for n processor-count points (1,2,4,…,2^(n-1))",
+		"#n", "method", "#runs", "#processors", "#files")
+	for _, n := range []int{2, 3, 4, 5, 6} {
+		tt := perftools.TimeToolCost(n)
+		ss := perftools.SpeedshopCost(n)
+		ex := perftools.ExistingToolsCost(n)
+		// The formula row: 2n−1 runs, 2^n+n−2 processors, 2n−1 files.
+		st := perftools.ResourceCost{Runs: 2*n - 1, Processors: 1<<uint(n) + n - 2, Files: 2*n - 1}
+		tb.Row(n, "time", tt.Runs, tt.Processors, tt.Files)
+		tb.Row(n, "speedshop", ss.Runs, ss.Processors, ss.Files)
+		tb.Row(n, "existing total", ex.Runs, ex.Processors, ex.Files)
+		tb.Row(n, "Scal-Tool", st.Runs, st.Processors, st.Files)
+	}
+	b.WriteString(tb.String())
+	// The actual planned campaigns (plans may add a couple of sizes above
+	// s0 when the Table 3 fractions don't overflow the L2 — see DESIGN.md).
+	tb2 := table.New("Planned campaign cost on this machine (n=6, 32 processors)",
+		"app", "#runs", "#processors", "#files")
+	for _, name := range PaperApps() {
+		app, err := apps.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		plan, err := campaign.NewPlan(app, s.Cfg, s.MaxProcs, 0)
+		if err != nil {
+			panic(err)
+		}
+		c := plan.Cost()
+		tb2.Row(name, c.Runs, c.Processors, c.Files)
+	}
+	b.WriteString("\n")
+	b.WriteString(tb2.String())
+	fmt.Fprintf(&b, "\nAt n=6 Scal-Tool uses %d processors vs %d for time+speedshop (%.0f%%).\n",
+		1<<6+6-2, perftools.ExistingToolsCost(6).Processors,
+		100*float64(1<<6+6-2)/float64(perftools.ExistingToolsCost(6).Processors))
+	return b.String()
+}
+
+// Table2 reproduces the bottleneck taxonomy, with the effects demonstrated
+// by simulator ground truth on a two-processor probe program.
+func (s *Suite) Table2() string {
+	var b strings.Builder
+	tb := table.New("Bottlenecks that affect scalability and their effects",
+		"bottleneck", "class", "effects")
+	tb.Row("Insufficient caching space", "", "conflict (capacity+conflict) misses")
+	tb.Row("Synchronization", "multiprocessor factor", "coherence misses + extra instructions")
+	tb.Row("Load imbalance", "multiprocessor factor", "extra instructions (idle spinning)")
+	tb.Row("True sharing", "multiprocessor factor", "coherence misses")
+	tb.Row("False sharing", "multiprocessor factor", "coherence misses")
+	b.WriteString(tb.String())
+
+	// Demonstration: a probe exhibiting each effect, measured by the
+	// simulator's ground-truth classification.
+	cfg := s.Cfg
+	prog, err := sim.NewProgram("table2-probe", 2, uint64(4*cfg.L2.SizeBytes), cfg.PageBytes)
+	if err != nil {
+		panic(err)
+	}
+	arr := prog.MustAlloc("a", uint64(4*cfg.L2.SizeBytes))
+	half := arr.Size / 2
+	init := prog.AddRegion("init")
+	init.Proc(0).Write(arr.Base, half/8, 8, 1)
+	init.Proc(1).Write(arr.Base+half, half/8, 8, 1)
+	// Conflict misses: proc 0 re-sweeps its overflowing half twice.
+	for i := 0; i < 2; i++ {
+		reg := prog.AddRegion("conflict_sweep")
+		reg.Proc(0).Read(arr.Base, half/8, 8, 1)
+		// Imbalance: processor 1 stays idle.
+	}
+	// Sharing: proc 1 reads lines proc 0 wrote, then proc 0 rewrites them.
+	sh := prog.AddRegion("share_read")
+	sh.Proc(1).Read(arr.Base, 512, 8, 1)
+	rw := prog.AddRegion("share_rewrite")
+	rw.Proc(0).Write(arr.Base, 512, 8, 1)
+	cohRead := prog.AddRegion("coherence_reread")
+	cohRead.Proc(1).Read(arr.Base, 512, 8, 1)
+
+	res, err := sim.Run(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	g := res.Ground
+	tb2 := table.New("Ground-truth effects on the two-processor probe",
+		"effect", "#count")
+	tb2.Row("compulsory misses", int(g.Compulsory))
+	tb2.Row("conflict misses (insufficient caching space)", int(g.Conflict))
+	tb2.Row("coherence misses (sharing + sync)", int(g.Coherence))
+	tb2.Row("invalidations sent", int(g.Invalidations))
+	tb2.Row("sync cycles", g.SyncCycles)
+	tb2.Row("imbalance (spin) cycles", g.ImbCycles)
+	b.WriteString("\n")
+	b.WriteString(tb2.String())
+	return b.String()
+}
+
+// Table3 reproduces the run matrix: base size at every processor count,
+// fractional sizes on the uniprocessor.
+func (s *Suite) Table3() string {
+	app, err := apps.ByName("t3dheat")
+	if err != nil {
+		panic(err)
+	}
+	plan, err := campaign.NewPlan(app, s.Cfg, s.MaxProcs, 0)
+	if err != nil {
+		panic(err)
+	}
+	header := []string{"data set size"}
+	for _, n := range plan.ProcCounts {
+		header = append(header, fmt.Sprintf("#n=%d", n))
+	}
+	tb := table.New(fmt.Sprintf("Runs needed for %s (s0 = %d bytes)", plan.App, plan.S0), header...)
+	mark := func(row []any, set map[int]bool) []any {
+		for _, n := range plan.ProcCounts {
+			if set[n] {
+				row = append(row, "x")
+			} else {
+				row = append(row, "")
+			}
+		}
+		return row
+	}
+	all := map[int]bool{}
+	for _, n := range plan.ProcCounts {
+		all[n] = true
+	}
+	tb.Row(mark([]any{"s0"}, all)...)
+	for _, sz := range plan.UniSizes {
+		label := fmt.Sprintf("%d", sz)
+		if sz < plan.S0 {
+			label = fmt.Sprintf("s0/%d", plan.S0/sz)
+		} else if sz > plan.S0 {
+			label = fmt.Sprintf("%.2g*s0 (t2/tm)", float64(sz)/float64(plan.S0))
+		}
+		tb.Row(mark([]any{label}, map[int]bool{1: true})...)
+	}
+	return tb.String()
+}
+
+// Table4 reproduces the application-characteristics table, with measured
+// scalability and balance.
+func (s *Suite) Table4() string {
+	tb := table.New("Characteristics of the applications analyzed",
+		"application", "what it does", "#speedup@16", "#speedup@32",
+		"#balance(max/mean)", "#data set (bytes)", "parallel model")
+	for _, name := range PaperApps() {
+		a := s.mustAnalysis(name)
+		sps := map[int]float64{}
+		for _, sp := range a.model.Speedups() {
+			sps[sp.Procs] = sp.Speedup
+		}
+		last := a.campaign.BaseRuns[s.MaxProcs]
+		usage := perftools.Ssusage(last)
+		tb.Row(name, a.app.Description(), sps[16], sps[s.MaxProcs],
+			balanceMetric(last), int(usage.Bytes()), a.app.ParallelModel())
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\nData-set sizes are the machine-scaled analogues of the paper's 40 / 10.3 / 16.2 MB\n(10x / 2.6x / 4x the per-processor L2). Balance is measured at the largest count.\n")
+	return b.String()
+}
+
+var _ = machine.Config{}

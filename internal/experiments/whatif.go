@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/sim"
+	"scaltool/internal/table"
+	"scaltool/internal/whatif"
+)
+
+// Sec26 reproduces the §2.6 parameter experiments: the model predicts the
+// impact of machine changes without re-running the application, and — an
+// advantage of having a simulator underneath — the L2-doubling prediction
+// is cross-checked against an actual re-simulation with a doubled L2.
+func (s *Suite) Sec26() string {
+	a := s.mustAnalysis("t3dheat")
+	var b strings.Builder
+
+	scenarios := []whatif.Scenario{
+		whatif.DoubleL2(),
+		whatif.FasterMemory(),
+		whatif.FasterSync(),
+		whatif.WiderIssue(),
+	}
+	for _, sc := range scenarios {
+		preds, err := whatif.Evaluate(a.model, sc)
+		if err != nil {
+			panic(err)
+		}
+		tb := table.New(fmt.Sprintf("what-if %q — T3dheat (no re-run)", sc.Name),
+			"#procs", "#baseline cycles", "#predicted cycles", "#speedup", "#L2 miss rate", "#new L2 miss rate")
+		for _, p := range preds {
+			tb.Row(p.Procs, p.BaselineCycles, p.NewCycles, p.SpeedupVsBaseline(), p.L2MissRate, p.NewL2MissRate)
+		}
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+
+	// Cross-check: the model's double-L2 estimate vs a real re-simulation
+	// on a machine with a doubled L2 (something the paper could not do).
+	preds, err := whatif.Evaluate(a.model, whatif.DoubleL2())
+	if err != nil {
+		panic(err)
+	}
+	bigCfg := s.Cfg.WithL2Size(2 * s.Cfg.L2.SizeBytes)
+	app, err := apps.ByName("t3dheat")
+	if err != nil {
+		panic(err)
+	}
+	tb := table.New("cross-check: predicted vs re-simulated cycles with a 2x L2",
+		"#procs", "#predicted", "#re-simulated", "#pred/actual")
+	for _, p := range preds {
+		prog, err := app.Build(bigCfg, p.Procs, a.model.S0)
+		if err != nil {
+			panic(err)
+		}
+		res, err := sim.Run(bigCfg, prog)
+		if err != nil {
+			panic(err)
+		}
+		actual := float64(res.Report.TotalCycles())
+		tb.Row(p.Procs, p.NewCycles, actual, p.NewCycles/actual)
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nThe estimate is the paper's \"rough\" one (Eq. 11): it assumes the coherence\ncomponent is cache-size independent and maps cache growth to data-set shrinkage.\n")
+
+	// Capacity-planning sweep: how much cache is enough, per processor count?
+	sweep, err := whatif.SweepL2(a.model, []float64{0.5, 1, 2, 4, 8})
+	if err != nil {
+		panic(err)
+	}
+	ts := table.New("L2-size sweep — predicted speedup vs today (T3dheat)",
+		"#procs", "#k=0.5", "#k=1", "#k=2", "#k=4", "#k=8")
+	for i := range sweep[0].Predictions {
+		row := []any{sweep[0].Predictions[i].Procs}
+		for _, sp := range sweep {
+			row = append(row, sp.Predictions[i].SpeedupVsBaseline())
+		}
+		ts.Row(row...)
+	}
+	b.WriteString("\n")
+	b.WriteString(ts.String())
+	return b.String()
+}

@@ -1,0 +1,224 @@
+// Package machine defines the parameters of the simulated DSM
+// multiprocessor. The reference point is the paper's evaluation platform, an
+// SGI Origin 2000: 250 MHz MIPS R10000 processors, 32 KB L1 data cache,
+// 4 MB unified L2, directory-based (bit-vector) hardware cache coherence over
+// a bristled hypercube, and fetchop-based synchronization.
+//
+// Because the empirical model only cares about *ratios* (data set vs. L2
+// capacity, L1 vs. L2, relative latencies), the default experiment
+// configuration is a ratio-preserving scale-down of the Origin so that a full
+// measurement campaign runs in seconds. A full-size Origin2000 configuration
+// is provided for completeness.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	LineBytes int // line (block) size; must divide SizeBytes
+	Assoc     int // associativity (ways); must divide SizeBytes/LineBytes
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Lines returns the number of lines the cache can hold.
+func (c CacheConfig) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Validate checks the geometry for internal consistency.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0:
+		return errors.New("machine: cache sizes must be positive")
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("machine: line size %d not a power of two", c.LineBytes)
+	case c.SizeBytes%c.LineBytes != 0:
+		return fmt.Errorf("machine: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	case (c.SizeBytes/c.LineBytes)%c.Assoc != 0:
+		return fmt.Errorf("machine: %d lines not divisible by associativity %d", c.SizeBytes/c.LineBytes, c.Assoc)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("machine: set count %d not a power of two", c.Sets())
+	}
+	return nil
+}
+
+// Latencies holds the microarchitectural cost parameters, all in processor
+// cycles. The simulator charges these directly; the model *estimates* its
+// t2/tm/tsync from counter readings and never reads these fields.
+type Latencies struct {
+	L2Hit int // extra cycles for an L1 miss that hits in L2 (the "true" t2)
+
+	MemLocal  int // DRAM access at the home node (row access + transfer)
+	Directory int // directory lookup/update at the home node
+	RouterHop int // per-hop router traversal on the interconnect
+	DirtyFwd  int // extra cycles when the line must be forwarded from a dirty remote cache
+
+	SyncAcquire int // uncached fetchop service time at the sync variable's home (unloaded; arrivals pipeline)
+	SyncService int // serialized per-waiter service of the barrier release flag at its home (the hot-spot term that grows barrier cost with the processor count)
+
+	TLBMiss int // software TLB reload cost (R10000 TLBs are software-reloaded)
+}
+
+// CostModel groups the instruction-level cost parameters of the processor
+// core. ComputeCPI is the average cycles per non-memory instruction; memory
+// instructions that hit in L1 cost L1HitCPI.
+type CostModel struct {
+	ComputeCPI float64 // CPI of non-memory instructions (superscalar core <1 is fine)
+	L1HitCPI   float64 // CPI of a load/store that hits in the L1
+}
+
+// SyncCosts describes the instruction footprint of the synchronization
+// library, mirroring the Origin's fetchop-based barriers and locks.
+type SyncCosts struct {
+	BarrierInstr  int // instructions executed per barrier entry/exit (excluding spin)
+	SpinLoopInstr int // instructions per spin-loop iteration while waiting
+	SpinLoopCPI   float64
+	LockInstr     int // instructions per lock acquire+release pair
+}
+
+// Protocol selects the cache-coherence protocol. The ntsync method of
+// §2.4.2 depends on the Illinois protocol's Exclusive state: a processor
+// that reads data nobody else caches gets it in E and later writes it with
+// a silent E→M transition, so the store-to-shared event fires (almost) only
+// for genuine sharing and synchronization. Under plain MSI every read is
+// granted Shared and every first write raises the event — the ablation that
+// shows why the paper's sentence "Since the Origin 2000 uses the Illinois
+// cache coherence protocol, such operations largely imply sharing
+// transactions" matters.
+type Protocol uint8
+
+// Coherence protocols.
+const (
+	// Illinois is MESI with the E state (the Origin 2000's protocol).
+	Illinois Protocol = iota
+	// MSI grants Shared on every read fill (no Exclusive state).
+	MSI
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Illinois:
+		return "illinois"
+	case MSI:
+		return "msi"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// Config is the full machine description.
+type Config struct {
+	Name     string
+	ClockMHz int
+	Protocol Protocol // coherence protocol (default Illinois)
+
+	L1 CacheConfig // private L1 data cache (the model neglects instruction misses, as the paper does)
+	L2 CacheConfig // private unified L2
+
+	PageBytes      int // memory pages for first-touch placement
+	ProcsPerRouter int // "bristled" hypercube: processors sharing one router (Origin: 2)
+	TLBEntries     int // per-processor TLB entries (0 disables TLB modelling)
+
+	Lat  Latencies
+	Cost CostModel
+	Sync SyncCosts
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("L1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
+	switch {
+	case c.L1.LineBytes > c.L2.LineBytes:
+		return errors.New("machine: L1 line larger than L2 line")
+	case c.L2.LineBytes%c.L1.LineBytes != 0:
+		return errors.New("machine: L2 line not a multiple of L1 line")
+	case c.L1.SizeBytes >= c.L2.SizeBytes:
+		return errors.New("machine: L1 must be smaller than L2")
+	case c.PageBytes <= 0 || c.PageBytes%c.L2.LineBytes != 0:
+		return errors.New("machine: page size must be a positive multiple of the L2 line size")
+	case c.ProcsPerRouter <= 0:
+		return errors.New("machine: ProcsPerRouter must be positive")
+	case c.TLBEntries < 0 || c.Lat.TLBMiss < 0:
+		return errors.New("machine: TLB parameters must be non-negative")
+	case c.Protocol != Illinois && c.Protocol != MSI:
+		return fmt.Errorf("machine: unknown protocol %d", c.Protocol)
+	case c.Lat.L2Hit <= 0 || c.Lat.MemLocal <= 0 || c.Lat.Directory < 0 || c.Lat.RouterHop < 0 || c.Lat.DirtyFwd < 0 || c.Lat.SyncAcquire < 0 || c.Lat.SyncService < 0:
+		return errors.New("machine: latencies must be positive (L2Hit, MemLocal) / non-negative")
+	case c.Cost.ComputeCPI <= 0 || c.Cost.L1HitCPI <= 0:
+		return errors.New("machine: CPIs must be positive")
+	case c.Sync.BarrierInstr <= 0 || c.Sync.SpinLoopInstr <= 0 || c.Sync.SpinLoopCPI <= 0 || c.Sync.LockInstr <= 0:
+		return errors.New("machine: sync costs must be positive")
+	}
+	return nil
+}
+
+// Origin2000 returns a configuration mirroring the paper's platform at full
+// size. Running campaigns on it is possible but slow: prefer ScaledOrigin for
+// experiments.
+func Origin2000() Config {
+	return Config{
+		Name:           "origin2000",
+		ClockMHz:       250,
+		L1:             CacheConfig{SizeBytes: 32 << 10, LineBytes: 32, Assoc: 2},
+		L2:             CacheConfig{SizeBytes: 4 << 20, LineBytes: 128, Assoc: 2},
+		PageBytes:      16 << 10,
+		ProcsPerRouter: 2,
+		TLBEntries:     64,
+		Lat: Latencies{
+			L2Hit:       10,
+			MemLocal:    80,
+			Directory:   20,
+			RouterHop:   12,
+			DirtyFwd:    60,
+			SyncAcquire: 60,
+			SyncService: 30,
+			TLBMiss:     12,
+		},
+		Cost: CostModel{ComputeCPI: 0.6, L1HitCPI: 0.7},
+		// The spin loop (load, test, branch) suffers the exit mispredict and
+		// the synchronizing load's latency; its CPI sits well above the
+		// compute CPI, which keeps Eq. 9 well conditioned.
+		Sync: SyncCosts{BarrierInstr: 40, SpinLoopInstr: 4, SpinLoopCPI: 3.0, LockInstr: 30},
+	}
+}
+
+// ScaledOrigin returns the default experiment machine: a 1/64 capacity
+// scale-down of the Origin 2000 that preserves the dataset/L2, L1/L2 and
+// latency ratios, so the model sees the same shapes at a fraction of the
+// simulation cost.
+func ScaledOrigin() Config {
+	c := Origin2000()
+	c.Name = "origin2000-scaled64"
+	c.L1 = CacheConfig{SizeBytes: 512, LineBytes: 32, Assoc: 2}
+	c.L2 = CacheConfig{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2}
+	c.PageBytes = 1 << 10
+	return c
+}
+
+// TinyTest returns a deliberately small machine for unit tests: every
+// structure (sets, pages, directory) is exercised with tiny footprints.
+func TinyTest() Config {
+	c := Origin2000()
+	c.Name = "tiny-test"
+	c.L1 = CacheConfig{SizeBytes: 256, LineBytes: 16, Assoc: 2}
+	c.L2 = CacheConfig{SizeBytes: 1 << 10, LineBytes: 16, Assoc: 2}
+	c.PageBytes = 64
+	return c
+}
+
+// WithL2Size returns a copy of the configuration with the L2 capacity set to
+// sizeBytes (associativity and line size preserved). Used by the what-if
+// machinery's "double the L2" experiments when cross-checking the model's
+// no-rerun estimate against an actual re-simulation.
+func (c Config) WithL2Size(sizeBytes int) Config {
+	c.L2.SizeBytes = sizeBytes
+	return c
+}

@@ -1,0 +1,136 @@
+package machine
+
+import "testing"
+
+func TestBuiltinConfigsValidate(t *testing.T) {
+	for _, c := range []Config{Origin2000(), ScaledOrigin(), TinyTest()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := CacheConfig{SizeBytes: 4 << 20, LineBytes: 128, Assoc: 2}
+	if got := c.Lines(); got != 32768 {
+		t.Errorf("Lines = %d, want 32768", got)
+	}
+	if got := c.Sets(); got != 16384 {
+		t.Errorf("Sets = %d, want 16384", got)
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, LineBytes: 32, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 0, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 0},
+		{SizeBytes: 1024, LineBytes: 48, Assoc: 1},    // non-power-of-two line
+		{SizeBytes: 1000, LineBytes: 32, Assoc: 1},    // size not multiple of line
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 5},    // lines % assoc != 0
+		{SizeBytes: 96 * 32, LineBytes: 32, Assoc: 1}, // 96 sets: not power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v): want error, got nil", i, c)
+		}
+	}
+	good := CacheConfig{SizeBytes: 1024, LineBytes: 32, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestConfigValidateCrossChecks(t *testing.T) {
+	base := TinyTest()
+
+	l1BiggerThanL2 := base
+	l1BiggerThanL2.L1.SizeBytes = base.L2.SizeBytes * 2
+	l1BiggerThanL2.L1.LineBytes = base.L2.LineBytes
+
+	l1LineTooBig := base
+	l1LineTooBig.L1 = CacheConfig{SizeBytes: 256, LineBytes: 32, Assoc: 2}
+	l1LineTooBig.L2 = CacheConfig{SizeBytes: 1 << 10, LineBytes: 16, Assoc: 2}
+
+	badPage := base
+	badPage.PageBytes = base.L2.LineBytes + 1
+
+	badSync := base
+	badSync.Sync.BarrierInstr = 0
+
+	badCPI := base
+	badCPI.Cost.ComputeCPI = 0
+
+	badLat := base
+	badLat.Lat.L2Hit = 0
+
+	cases := map[string]Config{
+		"l1 >= l2":          l1BiggerThanL2,
+		"l1 line > l2 line": l1LineTooBig,
+		"bad page":          badPage,
+		"bad sync":          badSync,
+		"bad cpi":           badCPI,
+		"bad latency":       badLat,
+	}
+	for name, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestWithL2Size(t *testing.T) {
+	c := ScaledOrigin()
+	c2 := c.WithL2Size(c.L2.SizeBytes * 2)
+	if c2.L2.SizeBytes != 2*c.L2.SizeBytes {
+		t.Fatalf("WithL2Size did not double: %d", c2.L2.SizeBytes)
+	}
+	if c.L2.SizeBytes == c2.L2.SizeBytes {
+		t.Fatal("WithL2Size mutated the receiver")
+	}
+	if err := c2.Validate(); err != nil {
+		t.Fatalf("doubled config invalid: %v", err)
+	}
+}
+
+func TestScaledOriginPreservesRatios(t *testing.T) {
+	full, scaled := Origin2000(), ScaledOrigin()
+	// The experiment configs must keep the L1 much smaller than L2, and
+	// latency parameters identical — the model sees the same time shapes.
+	if full.Lat != scaled.Lat {
+		t.Error("scaled config changed latencies; shapes would differ")
+	}
+	if full.Cost != scaled.Cost || full.Sync != scaled.Sync {
+		t.Error("scaled config changed cost models")
+	}
+	if scaled.L1.SizeBytes*16 > scaled.L2.SizeBytes {
+		t.Error("scaled L1 too close to L2 capacity")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if Illinois.String() != "illinois" || MSI.String() != "msi" {
+		t.Fatal("protocol names wrong")
+	}
+	if Protocol(9).String() == "" {
+		t.Fatal("unknown protocol name empty")
+	}
+}
+
+func TestValidateRejectsBadProtocolAndTLB(t *testing.T) {
+	c := TinyTest()
+	c.Protocol = Protocol(9)
+	if err := c.Validate(); err == nil {
+		t.Error("bad protocol accepted")
+	}
+	c = TinyTest()
+	c.TLBEntries = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative TLB entries accepted")
+	}
+	c = TinyTest()
+	c.Lat.TLBMiss = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative TLB latency accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package memdsm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressSpaceAllocPageAligned(t *testing.T) {
+	as, err := NewAddressSpace(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := as.MustAlloc("a", 100)
+	b := as.MustAlloc("b", 3000)
+	c := as.MustAlloc("c", 1024)
+	if a.Base != 0 || b.Base != 1024 || c.Base != 1024+3*1024 {
+		t.Fatalf("bases = %d,%d,%d", a.Base, b.Base, c.Base)
+	}
+	if as.Bytes() != 5*1024 {
+		t.Fatalf("Bytes = %d, want 5120", as.Bytes())
+	}
+	if got := len(as.Regions()); got != 3 {
+		t.Fatalf("Regions = %d, want 3", got)
+	}
+}
+
+func TestAddressSpaceErrors(t *testing.T) {
+	if _, err := NewAddressSpace(0); err == nil {
+		t.Error("page 0 accepted")
+	}
+	if _, err := NewAddressSpace(1000); err == nil {
+		t.Error("non-power-of-two page accepted")
+	}
+	as, _ := NewAddressSpace(64)
+	if _, err := as.Alloc("z", 0); err == nil {
+		t.Error("zero-size alloc accepted")
+	}
+}
+
+func TestRegionAddrBounds(t *testing.T) {
+	as, _ := NewAddressSpace(64)
+	r := as.MustAlloc("r", 128)
+	if r.Addr(0) != r.Base || r.Addr(127) != r.Base+127 {
+		t.Fatal("Addr math wrong")
+	}
+	if r.End() != r.Base+128 {
+		t.Fatal("End wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds Addr should panic")
+		}
+	}()
+	r.Addr(128)
+}
+
+func TestFirstTouchPlacement(t *testing.T) {
+	m, err := NewMemory(64, 4, FirstTouch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := m.HomeOf(0, 2); h != 2 {
+		t.Fatalf("first touch home = %d, want 2", h)
+	}
+	// Second toucher does not move the page.
+	if h := m.HomeOf(32, 3); h != 2 {
+		t.Fatalf("page moved on second touch: %d", h)
+	}
+	if h := m.HomeOf(64, 3); h != 3 {
+		t.Fatalf("new page home = %d, want 3", h)
+	}
+	if m.TouchedPages() != 2 {
+		t.Fatalf("TouchedPages = %d, want 2", m.TouchedPages())
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	m, _ := NewMemory(64, 3, RoundRobin)
+	for page := 0; page < 9; page++ {
+		addr := uint64(page * 64)
+		if h := m.HomeOf(addr, 0); h != page%3 {
+			t.Fatalf("page %d home = %d, want %d", page, h, page%3)
+		}
+	}
+}
+
+func TestAllOnZeroPlacement(t *testing.T) {
+	m, _ := NewMemory(64, 8, AllOnZero)
+	for page := 0; page < 5; page++ {
+		if h := m.HomeOf(uint64(page*64), 7); h != 0 {
+			t.Fatalf("page %d home = %d, want 0", page, h)
+		}
+	}
+}
+
+func TestHomeWithoutAssign(t *testing.T) {
+	m, _ := NewMemory(64, 2, FirstTouch)
+	if h := m.Home(0); h != -1 {
+		t.Fatalf("untouched Home = %d, want -1", h)
+	}
+	m.HomeOf(0, 1)
+	if h := m.Home(0); h != 1 {
+		t.Fatalf("Home = %d, want 1", h)
+	}
+	if h := m.Home(1 << 30); h != -1 {
+		t.Fatalf("far-away Home = %d, want -1", h)
+	}
+}
+
+func TestNewMemoryValidation(t *testing.T) {
+	if _, err := NewMemory(63, 2, FirstTouch); err == nil {
+		t.Error("bad page size accepted")
+	}
+	if _, err := NewMemory(64, 0, FirstTouch); err == nil {
+		t.Error("zero procs accepted")
+	}
+}
+
+func TestHomeOfBadToucherPanics(t *testing.T) {
+	m, _ := NewMemory(64, 2, FirstTouch)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.HomeOf(0, 2)
+}
+
+func TestPlacementString(t *testing.T) {
+	if FirstTouch.String() != "first-touch" || RoundRobin.String() != "round-robin" || AllOnZero.String() != "all-on-zero" {
+		t.Fatal("Placement strings wrong")
+	}
+}
+
+// Property: page homes are sticky (first assignment wins) and always within
+// [0, procs).
+func TestHomeStickinessProperty(t *testing.T) {
+	f := func(addrs []uint32, touchers []uint8) bool {
+		m, _ := NewMemory(256, 8, FirstTouch)
+		first := map[uint64]int{}
+		for i, a := range addrs {
+			if i >= len(touchers) {
+				break
+			}
+			toucher := int(touchers[i]) % 8
+			addr := uint64(a) % (1 << 20) // bound the page table size
+			h := m.HomeOf(addr, toucher)
+			if h < 0 || h >= 8 {
+				return false
+			}
+			page := m.PageOf(addr)
+			if prev, ok := first[page]; ok {
+				if h != prev {
+					return false
+				}
+			} else {
+				first[page] = h
+			}
+		}
+		return m.TouchedPages() == len(first)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package memdsm
+
+import "fmt"
+
+// TLB models one processor's translation lookaside buffer: fully
+// associative over page numbers with LRU replacement (the R10000's 64-entry
+// TLB, software-reloaded — the reload cost is the machine's TLBMiss
+// latency). Scal-Tool's model deliberately neglects TLB misses, exactly as
+// the paper does; simulating them makes that neglect a measured
+// approximation instead of an omission (perfex does report TLB misses,
+// §5: "perfex outputs the number of data and instruction misses in the
+// caches and the number of TLB misses").
+type TLB struct {
+	entries int
+	slots   []uint64 // MRU first
+	misses  uint64
+}
+
+// NewTLB creates a TLB with the given entry count (0 disables: every access
+// hits).
+func NewTLB(entries int) *TLB {
+	if entries < 0 {
+		panic(fmt.Sprintf("memdsm: negative TLB entries %d", entries))
+	}
+	return &TLB{entries: entries}
+}
+
+// Access looks up a page, updating LRU order; it returns true on a hit.
+// A disabled TLB (0 entries) always hits.
+func (t *TLB) Access(page uint64) bool {
+	if t.entries == 0 {
+		return true
+	}
+	for i, p := range t.slots {
+		if p == page {
+			copy(t.slots[1:i+1], t.slots[:i])
+			t.slots[0] = page
+			return true
+		}
+	}
+	t.misses++
+	if len(t.slots) < t.entries {
+		t.slots = append(t.slots, 0)
+	}
+	copy(t.slots[1:], t.slots[:len(t.slots)-1])
+	t.slots[0] = page
+	return false
+}
+
+// Misses returns the cumulative miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Resident returns the number of cached translations.
+func (t *TLB) Resident() int { return len(t.slots) }

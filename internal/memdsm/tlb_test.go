@@ -1,0 +1,91 @@
+package memdsm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(2)
+	if tlb.Access(1) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tlb.Access(1) {
+		t.Fatal("warm miss")
+	}
+	tlb.Access(2)
+	tlb.Access(3) // evicts LRU = 1
+	if tlb.Access(1) {
+		t.Fatal("evicted page hit")
+	}
+	if tlb.Misses() != 4 {
+		t.Fatalf("misses = %d, want 4", tlb.Misses())
+	}
+	if tlb.Resident() != 2 {
+		t.Fatalf("resident = %d", tlb.Resident())
+	}
+}
+
+func TestTLBLRUOrder(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Access(1)
+	tlb.Access(2)
+	tlb.Access(1) // 2 becomes LRU
+	tlb.Access(3) // evicts 2
+	if !tlb.Access(1) {
+		t.Fatal("MRU page evicted")
+	}
+	if tlb.Access(2) {
+		t.Fatal("LRU page survived")
+	}
+}
+
+func TestTLBDisabled(t *testing.T) {
+	tlb := NewTLB(0)
+	for p := uint64(0); p < 100; p++ {
+		if !tlb.Access(p) {
+			t.Fatal("disabled TLB missed")
+		}
+	}
+	if tlb.Misses() != 0 {
+		t.Fatal("disabled TLB counted misses")
+	}
+}
+
+func TestTLBNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTLB(-1)
+}
+
+// Property: residency never exceeds capacity, and a working set within
+// capacity never misses after the first touch.
+func TestTLBProperties(t *testing.T) {
+	f := func(pages []uint8, entries8 uint8) bool {
+		entries := int(entries8%16) + 1
+		tlb := NewTLB(entries)
+		for _, p := range pages {
+			tlb.Access(uint64(p))
+			if tlb.Resident() > entries {
+				return false
+			}
+		}
+		// A set that fits: misses only on first touches.
+		tlb2 := NewTLB(8)
+		miss := 0
+		for round := 0; round < 3; round++ {
+			for p := uint64(0); p < 8; p++ {
+				if !tlb2.Access(p) {
+					miss++
+				}
+			}
+		}
+		return miss == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package model
+
+import "fmt"
+
+// Lock-aware synchronization estimation — the §2.4.2 footnote: "If the
+// application has locks, we need to separately compute the cpi_sync of a
+// kernel of locks and count at run-time the number of locks executed."
+//
+// The barrier kernel's tsync(n) prices a barrier participation; a lock
+// acquire/release prices differently (it queues on the lock, not on a
+// release flag). LockCosts fits the per-lock cost from the lock kernel the
+// same way tsync is fitted from the barrier kernel, and
+// InstrumentedSyncCycles combines both instrumented counts into the
+// method-1 synchronization estimate:
+//
+//	ost_sync = barriers·procs·(cpi0 + tsync(n)) + locks·(cpi0 + tlock(n))
+
+// LockCost is the fitted per-lock cost at one processor count.
+type LockCost struct {
+	Procs int
+	// TLock is the estimated cycles per lock acquire/release beyond the
+	// base instruction cost — including the serialization wait, which is
+	// why it grows with the processor count.
+	TLock float64
+	// CpiLock is the lock kernel's measured CPI (the lock analogue of
+	// cpi_sync(n)).
+	CpiLock float64
+}
+
+// FitLockCosts estimates per-lock costs from lock-kernel measurements
+// (apps.BuildLockKernel runs reduced with FromReport). Kernels must carry
+// their instrumented lock counts.
+func FitLockCosts(kernels map[int]Measurement, cpi0 float64) (map[int]LockCost, error) {
+	out := make(map[int]LockCost, len(kernels))
+	for procs, k := range kernels {
+		if k.Locks == 0 || k.Instr == 0 {
+			return nil, fmt.Errorf("model: lock kernel at %d procs has no locks/instructions", procs)
+		}
+		// Subtract the barrier overhead of the kernel's own regions first
+		// (each region still ends in a barrier), then attribute the rest
+		// to the locks.
+		perProcCycles := float64(k.Cycles) / float64(k.Procs)
+		perProcInstr := float64(k.Instr) / float64(k.Procs)
+		perProcLocks := float64(k.Locks) / float64(k.Procs)
+		tl := (perProcCycles - cpi0*perProcInstr) / perProcLocks
+		if tl < 0 {
+			tl = 0
+		}
+		out[procs] = LockCost{Procs: procs, TLock: tl, CpiLock: k.CPI}
+	}
+	return out, nil
+}
+
+// InstrumentedSyncCycles returns the method-1 synchronization-cycle
+// estimate for one measured point, pricing barriers with the barrier
+// kernel's tsync(n) and locks with the lock kernel's tlock(n). locks may be
+// nil for barrier-only codes (equivalent to FracSyncFromBarriers).
+func (m *Model) InstrumentedSyncCycles(procs int, locks map[int]LockCost) (float64, bool) {
+	pe, ok := m.Point(procs)
+	if !ok {
+		return 0, false
+	}
+	if procs == 1 {
+		return 0, true
+	}
+	b := pe.Meas
+	ost := float64(b.Barriers) * float64(procs) * (m.CPI0 + pe.TSync)
+	if b.Locks > 0 {
+		tl := pe.TSync // fallback: price a lock like a barrier participation
+		if lc, ok := locks[procs]; ok {
+			tl = lc.TLock
+		} else if len(locks) > 0 {
+			// Nearest measured count below/above.
+			best, bestDist := LockCost{}, int(^uint(0)>>1)
+			for p, lc := range locks {
+				d := p - procs
+				if d < 0 {
+					d = -d
+				}
+				if d < bestDist {
+					best, bestDist = lc, d
+				}
+			}
+			tl = best.TLock
+		}
+		ost += float64(b.Locks) * (m.CPI0 + tl)
+	}
+	return ost, true
+}

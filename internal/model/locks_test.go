@@ -1,0 +1,132 @@
+package model
+
+import (
+	"testing"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/machine"
+	"scaltool/internal/sim"
+)
+
+func lockKernelMeasurement(procs int, locksPerProc, instrPerProc uint64, tlock float64) Measurement {
+	m := Measurement{
+		Procs:    procs,
+		Instr:    instrPerProc * uint64(procs),
+		Locks:    locksPerProc * uint64(procs),
+		Barriers: 10,
+	}
+	perProcCycles := trueCPI0*float64(instrPerProc) + float64(locksPerProc)*tlock
+	m.Cycles = uint64(perProcCycles * float64(procs))
+	m.CPI = float64(m.Cycles) / float64(m.Instr)
+	m.DataBytes = 1024
+	return m
+}
+
+func TestFitLockCostsRecovers(t *testing.T) {
+	kernels := map[int]Measurement{
+		2: lockKernelMeasurement(2, 100, 50_000, 300),
+		8: lockKernelMeasurement(8, 100, 50_000, 1200),
+	}
+	costs, err := FitLockCosts(kernels, trueCPI0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := costs[2].TLock; got < 290 || got > 310 {
+		t.Errorf("tlock(2) = %g, want ≈ 300", got)
+	}
+	if got := costs[8].TLock; got < 1150 || got > 1250 {
+		t.Errorf("tlock(8) = %g, want ≈ 1200", got)
+	}
+	if costs[8].CpiLock <= costs[2].CpiLock {
+		t.Error("lock kernel CPI should grow with contention")
+	}
+}
+
+func TestFitLockCostsRejectsEmpty(t *testing.T) {
+	if _, err := FitLockCosts(map[int]Measurement{2: {Procs: 2, Instr: 10}}, 1); err == nil {
+		t.Fatal("kernel without locks accepted")
+	}
+}
+
+func TestInstrumentedSyncCyclesCombines(t *testing.T) {
+	in := synthInputs()
+	for i := range in.Base {
+		if in.Base[i].Procs == 4 {
+			in.Base[i].Barriers = 20
+			in.Base[i].Locks = 50
+		}
+	}
+	m, err := Fit(in, DefaultOptions(l2Bytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, _ := m.Point(4)
+	locks := map[int]LockCost{4: {Procs: 4, TLock: 500}}
+	got, ok := m.InstrumentedSyncCycles(4, locks)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	want := 20*4*(m.CPI0+pe.TSync) + 50*(m.CPI0+500)
+	if got != want {
+		t.Fatalf("ost = %g, want %g", got, want)
+	}
+	// Without a lock kernel, locks price like barrier participations.
+	got2, _ := m.InstrumentedSyncCycles(4, nil)
+	want2 := 20*4*(m.CPI0+pe.TSync) + 50*(m.CPI0+pe.TSync)
+	if got2 != want2 {
+		t.Fatalf("fallback ost = %g, want %g", got2, want2)
+	}
+	// Nearest-count fallback.
+	got3, _ := m.InstrumentedSyncCycles(4, map[int]LockCost{8: {Procs: 8, TLock: 900}})
+	want3 := 20*4*(m.CPI0+pe.TSync) + 50*(m.CPI0+900)
+	if got3 != want3 {
+		t.Fatalf("nearest ost = %g, want %g", got3, want3)
+	}
+	if v, ok := m.InstrumentedSyncCycles(1, nil); !ok || v != 0 {
+		t.Fatal("uniprocessor should be zero")
+	}
+	if _, ok := m.InstrumentedSyncCycles(64, nil); ok {
+		t.Fatal("unmeasured count accepted")
+	}
+}
+
+// Integration: fit lock costs from actual simulated lock kernels and verify
+// the estimate against the simulator's ground-truth sync attribution.
+func TestLockKernelIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated kernels")
+	}
+	cfg := machine.ScaledOrigin()
+	kernels := map[int]Measurement{}
+	ground := map[int]float64{}
+	for _, n := range []int{2, 4, 8} {
+		prog, err := apps.BuildLockKernel(cfg, n, 30, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels[n] = FromReport(&res.Report)
+		ground[n] = res.Ground.MPCycles() // lock queueing creates both sync waits and arrival-skew spin
+	}
+	costs, err := FitLockCosts(kernels, 0.62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs[8].TLock <= costs[2].TLock {
+		t.Errorf("tlock should grow with contention: %g vs %g", costs[2].TLock, costs[8].TLock)
+	}
+	// Pricing the kernel's own locks with the fitted tlock should land near
+	// its ground-truth multiprocessor cycles (lock serialization produces
+	// both sync waits and arrival-skew spin; the per-lock price covers
+	// both).
+	for _, n := range []int{2, 4, 8} {
+		k := kernels[n]
+		est := float64(k.Locks) * (0.62 + costs[n].TLock)
+		if est < 0.5*ground[n] || est > 1.5*ground[n] {
+			t.Errorf("n=%d: estimate %.3g vs ground truth %.3g", n, est, ground[n])
+		}
+	}
+}

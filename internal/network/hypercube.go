@@ -1,0 +1,112 @@
+// Package network models the Origin 2000's interconnect: routers arranged in
+// a hypercube, with ProcsPerRouter processors attached to each router
+// ("bristled" hypercube). The package answers one question for the
+// simulator: how many cycles does a message between two nodes cost?
+//
+// The key property the paper depends on is that the average memory access
+// latency tm grows with the processor count, because a larger machine has
+// more router hops between a processor and the average home node ("with more
+// processors, the physical dimensions of the machine are larger and,
+// therefore, accesses to main memory take longer", §2.3).
+package network
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Topology is an immutable description of a bristled hypercube connecting a
+// fixed number of processors.
+type Topology struct {
+	procs          int
+	procsPerRouter int
+	routers        int // power of two ≥ ceil(procs/procsPerRouter)
+	dim            int // log2(routers)
+	routerHop      int // cycles per hop
+}
+
+// New builds the topology for the given processor count. procsPerRouter is
+// the bristling factor (2 on the Origin). routerHop is the per-hop cost in
+// cycles.
+func New(procs, procsPerRouter, routerHop int) (*Topology, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("network: procs must be positive, got %d", procs)
+	}
+	if procsPerRouter <= 0 {
+		return nil, fmt.Errorf("network: procsPerRouter must be positive, got %d", procsPerRouter)
+	}
+	if routerHop < 0 {
+		return nil, fmt.Errorf("network: routerHop must be non-negative, got %d", routerHop)
+	}
+	need := (procs + procsPerRouter - 1) / procsPerRouter
+	routers := 1
+	dim := 0
+	for routers < need {
+		routers <<= 1
+		dim++
+	}
+	return &Topology{
+		procs:          procs,
+		procsPerRouter: procsPerRouter,
+		routers:        routers,
+		dim:            dim,
+		routerHop:      routerHop,
+	}, nil
+}
+
+// Procs returns the number of processors.
+func (t *Topology) Procs() int { return t.procs }
+
+// Routers returns the number of routers in the hypercube.
+func (t *Topology) Routers() int { return t.routers }
+
+// Dim returns the hypercube dimension (log2 of the router count).
+func (t *Topology) Dim() int { return t.dim }
+
+// Router returns the router a processor is attached to. Processors are
+// assigned to routers round-robin-free, in contiguous blocks, matching how
+// Origin nodes hold two processors each.
+func (t *Topology) Router(proc int) int {
+	t.check(proc)
+	return proc / t.procsPerRouter
+}
+
+// Hops returns the number of router-to-router hops on the minimal path
+// between two processors: the Hamming distance of their router IDs (0 when
+// they share a router).
+func (t *Topology) Hops(from, to int) int {
+	t.check(from)
+	t.check(to)
+	return bits.OnesCount(uint(t.Router(from) ^ t.Router(to)))
+}
+
+// OneWayCycles returns the network cost in cycles of a one-way message from
+// one processor to another. Same-router messages are free at this level of
+// abstraction (the node-level costs live in the latency parameters).
+func (t *Topology) OneWayCycles(from, to int) int {
+	return t.Hops(from, to) * t.routerHop
+}
+
+// RoundTripCycles returns the cost of a request/response pair.
+func (t *Topology) RoundTripCycles(from, to int) int {
+	return 2 * t.OneWayCycles(from, to)
+}
+
+// MeanHops returns the average hop count from a fixed processor to a home
+// node chosen uniformly among all processors' routers. For a hypercube of
+// dimension d, the average Hamming distance to a uniform router is d/2;
+// bristling makes same-router pairs slightly more likely. This is the
+// quantity behind the model's tm(n) growth.
+func (t *Topology) MeanHops() float64 {
+	total := 0
+	for p := 0; p < t.procs; p++ {
+		total += t.Hops(0, p)
+	}
+	return float64(total) / float64(t.procs)
+}
+
+func (t *Topology) check(proc int) {
+	if proc < 0 || proc >= t.procs {
+		panic(fmt.Sprintf("network: processor %d out of range [0,%d)", proc, t.procs))
+	}
+}

@@ -1,0 +1,140 @@
+// Package perftools provides analogues of the SGI performance tools the
+// paper compares against and validates with:
+//
+//   - Speedshop — PC-sampling profile. The paper validates Scal-Tool's MP
+//     estimate against the cycles speedshop attributes to barrier-related
+//     functions (mp_barrier(), nthreads(), mp_lock_try()) and load-imbalance
+//     functions (mp_slave_wait_for_work(), mp_master_wait_for_slaves())
+//     (§4.1). Here the profile is computed from the simulator's ground-truth
+//     attribution — exactly the quantity PC sampling estimates.
+//   - Ssusage — the maximum resident size of the application, used to
+//     sanity-check when the L2Lim effect should vanish (§4.1: "40 Mbytes /
+//     4 Mbytes" → enough caching space at 10 processors).
+//   - Time — wall-clock execution time.
+//
+// It also provides the resource-cost accounting of the *existing-tools*
+// methodology from Table 1 (the paper's motivating example: measuring
+// synchronization + spinning across processor counts with time+speedshop).
+package perftools
+
+import (
+	"sort"
+
+	"scaltool/internal/sim"
+)
+
+// RoutineCycles is one row of a speedshop profile.
+type RoutineCycles struct {
+	Name   string
+	Cycles float64
+}
+
+// SpeedshopProfile is the PC-sampling view of a run: cycles accumulated
+// over all processors, split between application routines (the program's
+// regions), the barrier-related functions, and the idle-wait functions.
+type SpeedshopProfile struct {
+	App   string
+	Procs int
+
+	// BarrierCycles is time in mp_barrier()/nthreads()/mp_lock_try() —
+	// synchronization proper.
+	BarrierCycles float64
+	// WaitCycles is time in mp_slave_wait_for_work() and
+	// mp_master_wait_for_slaves() — load-imbalance spinning.
+	WaitCycles float64
+	// Routines is busy time per application routine, descending by cycles.
+	Routines []RoutineCycles
+}
+
+// MPCycles returns the total multiprocessor overhead speedshop sees —
+// the measured curve of the paper's validation Figures 7, 10 and 13.
+func (p *SpeedshopProfile) MPCycles() float64 { return p.BarrierCycles + p.WaitCycles }
+
+// Speedshop profiles a finished run.
+func Speedshop(res *sim.Result) SpeedshopProfile {
+	prof := SpeedshopProfile{
+		App:           res.Report.App,
+		Procs:         res.Procs,
+		BarrierCycles: res.Ground.SyncCycles,
+		WaitCycles:    res.Ground.ImbCycles,
+	}
+	perRoutine := map[string]float64{}
+	var names []string
+	for _, r := range res.Ground.Regions {
+		if _, seen := perRoutine[r.Name]; !seen {
+			names = append(names, r.Name)
+		}
+		perRoutine[r.Name] += r.Busy
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		prof.Routines = append(prof.Routines, RoutineCycles{Name: n, Cycles: perRoutine[n]})
+	}
+	sort.SliceStable(prof.Routines, func(i, j int) bool {
+		return prof.Routines[i].Cycles > prof.Routines[j].Cycles
+	})
+	return prof
+}
+
+// SsusageReport is the memory-usage view of a run.
+type SsusageReport struct {
+	Pages     int
+	PageBytes int
+}
+
+// Bytes returns the resident size in bytes.
+func (s SsusageReport) Bytes() uint64 { return uint64(s.Pages) * uint64(s.PageBytes) }
+
+// Ssusage reports the maximum resident pages of a run.
+func Ssusage(res *sim.Result) SsusageReport {
+	return SsusageReport{Pages: res.Report.TouchedPages, PageBytes: res.Report.PageBytes}
+}
+
+// Time returns the execution time in seconds at the given clock rate.
+func Time(res *sim.Result, clockMHz int) float64 {
+	return res.WallCycles / (float64(clockMHz) * 1e6)
+}
+
+// ResourceCost counts what a measurement methodology consumes — the three
+// columns of Table 1.
+type ResourceCost struct {
+	Runs       int // application executions
+	Processors int // processor allocations summed over runs
+	Files      int // output files to manage/analyze
+}
+
+// Add sums two costs.
+func (c ResourceCost) Add(o ResourceCost) ResourceCost {
+	return ResourceCost{c.Runs + o.Runs, c.Processors + o.Processors, c.Files + o.Files}
+}
+
+// TimeToolCost returns the cost of measuring execution time with `time` at
+// processor counts 1, 2, 4, …, 2^(n−1): one run per count, one output file
+// per run.
+func TimeToolCost(n int) ResourceCost {
+	return ResourceCost{Runs: n, Processors: pow2Sum(n), Files: n}
+}
+
+// SpeedshopCost returns the cost of measuring the synchronization/spinning
+// cycle fraction with speedshop at the same processor counts. Speedshop's
+// default emits one experiment file per process, so a run at 2^i processors
+// produces 2^i files (the paper notes the count "could be reduced by
+// generating a single file in every speedshop run"; Table 1 charges the
+// default).
+func SpeedshopCost(n int) ResourceCost {
+	return ResourceCost{Runs: n, Processors: pow2Sum(n), Files: pow2Sum(n)}
+}
+
+// ExistingToolsCost is the Table 1 "Total with Existing Tools" row:
+// time + speedshop.
+func ExistingToolsCost(n int) ResourceCost {
+	return TimeToolCost(n).Add(SpeedshopCost(n))
+}
+
+// pow2Sum returns 1 + 2 + 4 + … + 2^(n−1) = 2^n − 1.
+func pow2Sum(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1<<uint(n) - 1
+}

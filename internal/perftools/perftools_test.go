@@ -1,0 +1,115 @@
+package perftools
+
+import (
+	"math"
+	"testing"
+
+	"scaltool/internal/machine"
+	"scaltool/internal/sim"
+)
+
+func sampleRun(t *testing.T) *sim.Result {
+	t.Helper()
+	cfg := machine.TinyTest()
+	p, err := sim.NewProgram("demo", 2, 2048, cfg.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := p.MustAlloc("a", 2048)
+	for r := 0; r < 2; r++ {
+		reg := p.AddRegion("stencil")
+		reg.Proc(0).Read(arr.Base, 64, 8, 2)
+		reg.Proc(1).Read(arr.Base+1024, 64, 8, 2)
+	}
+	serial := p.AddRegion("reduce")
+	serial.Proc(0).Compute(50_000)
+	res, err := sim.Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSpeedshopProfile(t *testing.T) {
+	res := sampleRun(t)
+	prof := Speedshop(res)
+	if prof.App != "demo" || prof.Procs != 2 {
+		t.Fatalf("header = %+v", prof)
+	}
+	if prof.BarrierCycles != res.Ground.SyncCycles || prof.WaitCycles != res.Ground.ImbCycles {
+		t.Fatal("bucket cycles do not match ground truth")
+	}
+	if prof.MPCycles() != res.Ground.MPCycles() {
+		t.Fatal("MPCycles mismatch")
+	}
+	// Two distinct routines, aggregated; descending order.
+	if len(prof.Routines) != 2 {
+		t.Fatalf("routines = %+v", prof.Routines)
+	}
+	if prof.Routines[0].Cycles < prof.Routines[1].Cycles {
+		t.Fatal("routines not sorted descending")
+	}
+	var sum float64
+	for _, r := range prof.Routines {
+		sum += r.Cycles
+	}
+	if math.Abs(sum-res.Ground.BusyCycles) > 1e-9*sum {
+		t.Fatalf("routine cycles %g != busy %g", sum, res.Ground.BusyCycles)
+	}
+	// The serial reduce region must show heavy wait time overall.
+	if prof.WaitCycles == 0 {
+		t.Fatal("serial section produced no wait cycles")
+	}
+}
+
+func TestSsusage(t *testing.T) {
+	res := sampleRun(t)
+	u := Ssusage(res)
+	if u.Pages == 0 || u.PageBytes != machine.TinyTest().PageBytes {
+		t.Fatalf("ssusage = %+v", u)
+	}
+	if u.Bytes() != uint64(u.Pages)*uint64(u.PageBytes) {
+		t.Fatal("Bytes math wrong")
+	}
+	// Each processor sweeps 512 B, plus the sync page: ≥ 1024+64 bytes.
+	if u.Bytes() < 1024+64 {
+		t.Fatalf("resident %d B < touched footprint", u.Bytes())
+	}
+}
+
+func TestTime(t *testing.T) {
+	res := sampleRun(t)
+	sec := Time(res, 250)
+	want := res.WallCycles / 250e6
+	if sec != want {
+		t.Fatalf("Time = %g, want %g", sec, want)
+	}
+}
+
+func TestResourceCostsTable1(t *testing.T) {
+	// The paper's n=6 example (up to 32 processors): existing tools need
+	// 2n = 12 runs and 2(2^6−1) = 126 processors; Scal-Tool (checked in
+	// campaign tests) needs 2^6+6−2 = 68 ≈ 54% of the processors.
+	n := 6
+	tt := TimeToolCost(n)
+	if tt.Runs != 6 || tt.Processors != 63 || tt.Files != 6 {
+		t.Fatalf("time cost = %+v", tt)
+	}
+	ss := SpeedshopCost(n)
+	if ss.Runs != 6 || ss.Processors != 63 || ss.Files != 63 {
+		t.Fatalf("speedshop cost = %+v", ss)
+	}
+	tot := ExistingToolsCost(n)
+	if tot.Runs != 12 || tot.Processors != 126 || tot.Files != 69 {
+		t.Fatalf("existing total = %+v", tot)
+	}
+}
+
+func TestResourceCostDegenerate(t *testing.T) {
+	if c := ExistingToolsCost(0); c.Runs != 0 || c.Processors != 0 || c.Files != 0 {
+		t.Fatalf("n=0 cost = %+v", c)
+	}
+	if c := TimeToolCost(1); c.Processors != 1 {
+		t.Fatalf("n=1 processors = %d", c.Processors)
+	}
+}

@@ -1,0 +1,514 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scaltool/internal/cache"
+	"scaltool/internal/counters"
+	"scaltool/internal/directory"
+	"scaltool/internal/machine"
+	"scaltool/internal/memdsm"
+	"scaltool/internal/network"
+)
+
+// engine holds the machine state of one run.
+type engine struct {
+	cfg   machine.Config
+	prog  *Program
+	net   *network.Topology
+	mem   *memdsm.Memory
+	dir   *directory.Directory
+	hiers []*cache.Hierarchy
+	tlbs  []*memdsm.TLB
+
+	l2Shift uint // log2(L2 line bytes) for addr→line
+
+	perProc []counters.Set
+	busy    []float64
+	syncT   []float64
+	imb     []float64
+
+	wall         float64
+	barrierCount uint64
+	lockCount    uint64
+	barrierCoh   uint64 // release-flag coherence misses injected at barriers
+	regions      []RegionAttribution
+	segCounters  []segRegion // per-region per-processor counter deltas (segment analysis)
+}
+
+// segRegion captures one region's counter deltas for segment-level reports.
+type segRegion struct {
+	name    string
+	perProc []counters.Set
+}
+
+// Run executes a program on a machine and returns the counter report plus
+// ground truth. The simulation is deterministic: the same (cfg, prog) pair
+// always produces an identical Result, regardless of GOMAXPROCS.
+func Run(cfg machine.Config, prog *Program) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := network.New(prog.Procs, cfg.ProcsPerRouter, cfg.Lat.RouterHop)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := memdsm.NewMemory(cfg.PageBytes, prog.Procs, prog.Placement)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:     cfg,
+		prog:    prog,
+		net:     net,
+		mem:     mem,
+		dir:     directory.New(prog.Procs),
+		hiers:   make([]*cache.Hierarchy, prog.Procs),
+		l2Shift: log2(cfg.L2.LineBytes),
+		perProc: make([]counters.Set, prog.Procs),
+		busy:    make([]float64, prog.Procs),
+		syncT:   make([]float64, prog.Procs),
+		imb:     make([]float64, prog.Procs),
+	}
+	e.tlbs = make([]*memdsm.TLB, prog.Procs)
+	for p := range e.hiers {
+		e.hiers[p] = cache.NewHierarchy(cfg)
+		e.tlbs[p] = memdsm.NewTLB(cfg.TLBEntries)
+	}
+
+	// The synchronization page is initialized by processor 0 before the
+	// first parallel region (its barrier/lock variables are homed there).
+	e.mem.HomeOf(prog.BarrierAddr(), 0)
+	e.mem.HomeOf(prog.LockAddr(), 0)
+
+	for i := range prog.Regions() {
+		e.runRegion(&prog.Regions()[i])
+	}
+	return e.result(), nil
+}
+
+func log2(v int) uint {
+	s := uint(0)
+	for 1<<(s+1) <= v {
+		s++
+	}
+	return s
+}
+
+// runRegion executes one barrier-delimited region.
+func (e *engine) runRegion(r *Region) {
+	// Phase 0 — page-home assignment, sequentially in processor order so
+	// first-touch placement is deterministic (ties between processors that
+	// both first-touch a page in this region go to the lower processor ID).
+	for p := range r.Streams {
+		e.assignHomes(p, &r.Streams[p])
+	}
+
+	// Phase 1 — per-processor stream simulation against the immutable
+	// directory snapshot, in parallel.
+	outs := make([]procOut, e.prog.Procs)
+	var wg sync.WaitGroup
+	for p := 0; p < e.prog.Procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			outs[p] = e.simulateStream(p, &r.Streams[p])
+		}(p)
+	}
+	wg.Wait()
+
+	// Phase 2 — lock serialization: critical sections execute one at a
+	// time; processor p waits out the critical sections of lower-numbered
+	// processors (deterministic FIFO by processor ID). The wait is spin
+	// time attributed to synchronization, matching speedshop's placement of
+	// mp_lock_try() among the barrier-related routines.
+	var csPrefix float64
+	lockWait := make([]float64, e.prog.Procs)
+	for p := 0; p < e.prog.Procs; p++ {
+		if outs[p].cs > 0 {
+			lockWait[p] = csPrefix
+			csPrefix += outs[p].cs
+		}
+	}
+
+	// Phase 3 — barrier. Every processor arrives, performs the barrier
+	// entry work and the fetchop access to the barrier variable's home
+	// (arrivals pipeline at the home: typically spread in time), then
+	// spins until the last arrival. The release is the hot spot: every
+	// waiter re-reads the released flag at its home, and those reads are
+	// serviced serially — the term that makes barrier cost grow with the
+	// processor count, independent of how skewed the arrivals were.
+	n := e.prog.Procs
+	bhome := e.mem.Home(e.prog.BarrierAddr())
+	entryCycles := float64(e.cfg.Sync.BarrierInstr) * e.cfg.Cost.ComputeCPI
+
+	arrival := make([]float64, n)
+	for p := range arrival {
+		arrival[p] = outs[p].work + lockWait[p]
+	}
+	fetchDone := make([]float64, n)
+	lastDone := 0.0
+	for p := 0; p < n; p++ {
+		fetchDone[p] = arrival[p] + entryCycles +
+			float64(e.net.RoundTripCycles(p, bhome)+e.cfg.Lat.SyncAcquire)
+		if fetchDone[p] > lastDone {
+			lastDone = fetchDone[p]
+		}
+	}
+
+	releaseLat := func(p int) float64 {
+		if n == 1 {
+			return 0 // the sole arriver releases itself; no flag miss
+		}
+		// Serialized flag service in processor order, plus the waiter's
+		// own directory/network path.
+		return float64((p+1)*e.cfg.Lat.SyncService + e.cfg.Lat.Directory + e.net.RoundTripCycles(p, bhome))
+	}
+	regionEnd := 0.0
+	for p := 0; p < n; p++ {
+		if end := lastDone + releaseLat(p); end > regionEnd {
+			regionEnd = end
+		}
+	}
+
+	segSets := make([]counters.Set, n)
+
+	// Phase 4 — attribution and counters. Attribution follows speedshop
+	// semantics: time waiting for the last arriver is load imbalance
+	// (mp_slave_wait_for_work); everything from the last arrival to the
+	// region end — entry work, fetchop serialization, release — is
+	// synchronization (mp_barrier), as is lock waiting (mp_lock_try).
+	maxArrival := arrival[0]
+	for _, a := range arrival[1:] {
+		if a > maxArrival {
+			maxArrival = a
+		}
+	}
+	barrierDrain := regionEnd - maxArrival
+	att := RegionAttribution{Name: r.Name}
+	for p := 0; p < n; p++ {
+		o := &outs[p]
+		syncCycles := lockWait[p] + barrierDrain
+		imbCycles := maxArrival - arrival[p]
+
+		e.busy[p] += o.work
+		e.syncT[p] += syncCycles
+		e.imb[p] += imbCycles
+		att.Busy += o.work
+		att.Sync += syncCycles
+		att.Imb += imbCycles
+
+		c := &segSets[p]
+		c.Add(counters.Cycles, round(regionEnd))
+		c.Add(counters.GradInstr, o.instr+uint64(e.cfg.Sync.BarrierInstr))
+		c.Add(counters.GradLoads, o.loads)
+		c.Add(counters.GradStores, o.stores+1) // the fetchop store
+		c.Add(counters.L1DMisses, o.l1miss)
+		c.Add(counters.L2Misses, o.l2miss)
+		c.Add(counters.StoreShared, o.storeShared)
+		c.Add(counters.TLBMisses, o.tlbMiss)
+		if n > 1 {
+			// The ntsync event: storing to the barrier line every other
+			// processor also holds (§2.4.2), plus the release-flag reread,
+			// which is a genuine coherence miss.
+			c.Add(counters.StoreShared, 1)
+			c.Add(counters.L1DMisses, 1)
+			c.Add(counters.L2Misses, 1)
+			c.Add(counters.GradLoads, 1)
+			e.barrierCoh++
+		}
+		// Spin instructions: lock waits (sync bucket) and barrier waits
+		// (imbalance bucket) both execute the spin loop.
+		si, sl := e.spinOps(lockWait[p] + imbCycles)
+		c.Add(counters.GradInstr, si)
+		c.Add(counters.GradLoads, sl)
+		e.perProc[p].Merge(*c)
+		if o.storeShared > 0 && n == 1 && e.cfg.Protocol == machine.Illinois {
+			// Under Illinois a sole processor always holds its data E/M;
+			// a uniprocessor store-to-shared event is a simulator bug.
+			panic("sim: store-to-shared event on a uniprocessor run")
+		}
+		e.lockCount += o.locks
+	}
+	e.barrierCount++
+	e.wall += regionEnd
+	e.regions = append(e.regions, att)
+	e.segCounters = append(e.segCounters, segRegion{name: r.Name, perProc: segSets})
+
+	// Phase 5 — coherence merge in processor order, then apply the
+	// resulting invalidations and downgrades to the caches.
+	accesses := make([]directory.RegionAccess, 0, n)
+	for p := 0; p < n; p++ {
+		if len(outs[p].readFills) == 0 && len(outs[p].writes) == 0 {
+			continue
+		}
+		accesses = append(accesses, directory.RegionAccess{
+			Proc:      p,
+			ReadFills: outs[p].readFills,
+			Writes:    outs[p].writes,
+		})
+	}
+	res := e.dir.Merge(accesses)
+	for _, inv := range res.Invalidations {
+		e.hiers[inv.Proc].InvalidateRemote(inv.Line)
+	}
+	for _, dg := range res.Downgrades {
+		e.hiers[dg.Proc].DowngradeRemote(dg.Line)
+	}
+}
+
+// spinOps converts a spin-wait duration into executed instructions/loads.
+func (e *engine) spinOps(cycles float64) (instr, loads uint64) {
+	if cycles <= 0 {
+		return 0, 0
+	}
+	iterCost := float64(e.cfg.Sync.SpinLoopInstr) * e.cfg.Sync.SpinLoopCPI
+	iters := uint64(cycles / iterCost)
+	return iters * uint64(e.cfg.Sync.SpinLoopInstr), iters
+}
+
+func round(v float64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	return uint64(v + 0.5)
+}
+
+// assignHomes walks a stream's address footprint and assigns first-touch
+// page homes, cheaply (page-granular, skipping already-assigned pages).
+func (e *engine) assignHomes(p int, s *Stream) {
+	page := uint64(e.cfg.PageBytes)
+	lastPage := uint64(1<<64 - 1)
+	touch := func(addr uint64) {
+		pg := addr / page
+		if pg == lastPage {
+			return
+		}
+		lastPage = pg
+		e.mem.HomeOf(addr, p)
+	}
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpSeq:
+			if abs := op.Stride; abs >= 0 && uint64(abs) <= page {
+				// Dense or near-dense: touch the covered range page by page.
+				end := op.Base + uint64(op.Count-1)*uint64(op.Stride)
+				for a := op.Base &^ (page - 1); a <= end; a += page {
+					touch(a)
+				}
+				touch(end)
+			} else {
+				a := int64(op.Base)
+				for i := uint64(0); i < op.Count; i++ {
+					touch(uint64(a))
+					a += op.Stride
+				}
+			}
+		case OpGather:
+			for _, a := range op.Addrs {
+				touch(a)
+			}
+		}
+	}
+}
+
+// procOut is the result of simulating one processor's stream for a region.
+type procOut struct {
+	work float64 // busy cycles (compute + memory stalls + own critical sections + upgrade transactions)
+	cs   float64 // cycles spent inside critical sections (subset of work, used for serialization)
+
+	instr, loads, stores        uint64
+	l1miss, l2miss, storeShared uint64
+	tlbMiss                     uint64
+	locks                       uint64
+	readFills, writes           []uint64 // sorted distinct L2 lines
+}
+
+// simulateStream runs one processor's ops through its cache hierarchy
+// against the immutable directory snapshot. Safe to run concurrently across
+// processors: it only reads e.dir/e.mem/e.net and mutates the processor's
+// own hierarchy.
+func (e *engine) simulateStream(p int, s *Stream) procOut {
+	var o procOut
+	if s.Empty() {
+		return o
+	}
+	h := e.hiers[p]
+	cfg := &e.cfg
+	readFills := make(map[uint64]struct{})
+	writes := make(map[uint64]struct{})
+
+	var missLat float64 // set by fill for the in-flight miss
+	fill := func(line uint64, write bool) cache.State {
+		addr := line << e.l2Shift
+		home := e.mem.Home(addr)
+		if home < 0 {
+			panic(fmt.Sprintf("sim: unhomed page for line %#x (pre-pass bug)", line))
+		}
+		info := e.dir.Probe(line)
+		if info.Cached && info.Dirty && info.Owner != p {
+			// 3-hop: requester→home, directory, home→owner forward,
+			// owner's cache intervention, owner→requester data.
+			missLat = float64(e.net.OneWayCycles(p, home) + cfg.Lat.Directory +
+				e.net.OneWayCycles(home, info.Owner) + cfg.Lat.DirtyFwd +
+				e.net.OneWayCycles(info.Owner, p))
+		} else {
+			missLat = float64(e.net.RoundTripCycles(p, home) + cfg.Lat.Directory + cfg.Lat.MemLocal)
+		}
+		if write {
+			return cache.Modified
+		}
+		if e.cfg.Protocol == machine.MSI {
+			return cache.Shared // no Exclusive state: every read fill is S
+		}
+		if !info.Cached || info.Sharers == 0 || (info.Owner == p && info.Sharers <= 1) {
+			return cache.Exclusive
+		}
+		return cache.Shared
+	}
+
+	tlb := e.tlbs[p]
+	pageShift := log2(cfg.PageBytes)
+	var lastWriteLine = uint64(1<<64 - 1)
+	access := func(addr uint64, write bool) {
+		if !tlb.Access(addr >> pageShift) {
+			o.work += float64(cfg.Lat.TLBMiss)
+			o.tlbMiss++
+		}
+		out := h.Access(addr, write, fill)
+		o.instr++
+		if write {
+			o.stores++
+		} else {
+			o.loads++
+		}
+		switch out.Level {
+		case cache.HitL1:
+			o.work += cfg.Cost.L1HitCPI
+		case cache.HitL2:
+			o.work += cfg.Cost.L1HitCPI + float64(cfg.Lat.L2Hit)
+			o.l1miss++
+		case cache.MissAll:
+			o.work += cfg.Cost.L1HitCPI + float64(cfg.Lat.L2Hit) + missLat
+			o.l1miss++
+			o.l2miss++
+			if !write {
+				readFills[out.L2Line] = struct{}{}
+			}
+		}
+		if out.StoreToShared {
+			o.storeShared++
+		}
+		if out.UpgradeFromShared {
+			// Ownership upgrade: round trip to the directory at the home.
+			home := e.mem.Home(addr)
+			o.work += float64(e.net.RoundTripCycles(p, home) + cfg.Lat.Directory)
+		}
+		if write && out.L2Line != lastWriteLine {
+			writes[out.L2Line] = struct{}{}
+			lastWriteLine = out.L2Line
+		}
+	}
+
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpCompute:
+			o.instr += op.Instr
+			o.work += float64(op.Instr) * cfg.Cost.ComputeCPI
+		case OpSeq:
+			addr := int64(op.Base)
+			for i := uint64(0); i < op.Count; i++ {
+				if op.InstrPer > 0 {
+					o.instr += op.InstrPer
+					o.work += float64(op.InstrPer) * cfg.Cost.ComputeCPI
+				}
+				access(uint64(addr), op.Write)
+				addr += op.Stride
+			}
+		case OpGather:
+			for _, a := range op.Addrs {
+				if op.InstrPer > 0 {
+					o.instr += op.InstrPer
+					o.work += float64(op.InstrPer) * cfg.Cost.ComputeCPI
+				}
+				access(a, op.Write)
+			}
+		case OpCritical:
+			lockHome := e.mem.Home(e.prog.LockAddr())
+			cs := float64(cfg.Sync.LockInstr)*cfg.Cost.ComputeCPI +
+				float64(op.Instr)*cfg.Cost.ComputeCPI +
+				float64(e.net.RoundTripCycles(p, lockHome)+cfg.Lat.SyncAcquire)
+			o.instr += uint64(cfg.Sync.LockInstr) + op.Instr
+			o.stores++ // the lock fetchop
+			if e.prog.Procs > 1 {
+				o.storeShared++
+			}
+			o.work += cs
+			o.cs += cs
+			o.locks++
+		}
+	}
+
+	o.readFills = sortedLines(readFills)
+	o.writes = sortedLines(writes)
+	return o
+}
+
+func sortedLines(m map[uint64]struct{}) []uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// result assembles the final Result.
+func (e *engine) result() *Result {
+	n := e.prog.Procs
+	res := &Result{
+		MachineName: e.cfg.Name,
+		Procs:       n,
+		DataBytes:   e.prog.DataBytes,
+		WallCycles:  e.wall,
+	}
+	res.Report = counters.RunReport{
+		Machine:      e.cfg.Name,
+		App:          e.prog.Name,
+		Procs:        n,
+		DataBytes:    e.prog.DataBytes,
+		PerProc:      e.perProc,
+		WallCycles:   round(e.wall),
+		Barriers:     e.barrierCount,
+		Locks:        e.lockCount,
+		TouchedPages: e.mem.TouchedPages(),
+		PageBytes:    e.cfg.PageBytes,
+	}
+	g := &res.Ground
+	g.PerProcBusy = e.busy
+	g.PerProcSync = e.syncT
+	g.PerProcImb = e.imb
+	for p := 0; p < n; p++ {
+		g.BusyCycles += e.busy[p]
+		g.SyncCycles += e.syncT[p]
+		g.ImbCycles += e.imb[p]
+		st := e.hiers[p].Stats()
+		g.Compulsory += st.Compulsory
+		g.Coherence += st.Coherence
+		g.Conflict += st.Conflict
+	}
+	g.Coherence += e.barrierCoh
+	g.SharingLines = e.dir.SharingLineEvents()
+	g.Invalidations = e.dir.InvalidationsSent()
+	g.Regions = e.regions
+	res.segments = e.segCounters
+	return res
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scaltool/internal/counters"
+	"scaltool/internal/machine"
+)
+
+// randomProgram builds an arbitrary but valid program from a seed: random
+// region count, random mixes of compute/sweeps/gathers/criticals, random
+// idle processors (imbalance), random inter-processor sharing.
+func randomProgram(t testing.TB, seed int64) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := machine.TinyTest()
+	procs := 1 + rng.Intn(8)
+	dataBytes := uint64(1024 * (1 + rng.Intn(16)))
+	p, err := NewProgram("random", procs, dataBytes, cfg.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := p.MustAlloc("a", dataBytes)
+	regions := 1 + rng.Intn(6)
+	for r := 0; r < regions; r++ {
+		reg := p.AddRegion("r")
+		for pr := 0; pr < procs; pr++ {
+			if rng.Intn(4) == 0 {
+				continue // idle this region
+			}
+			st := reg.Proc(pr)
+			for ops := rng.Intn(3) + 1; ops > 0; ops-- {
+				switch rng.Intn(4) {
+				case 0:
+					st.Compute(uint64(rng.Intn(5000) + 1))
+				case 1:
+					start := uint64(rng.Intn(int(dataBytes / 2)))
+					count := uint64(rng.Intn(200) + 1)
+					stride := int64(8)
+					if start+count*8 > dataBytes {
+						count = (dataBytes - start) / 8
+					}
+					if count == 0 {
+						continue
+					}
+					st.Seq(arr.Base+start, count, stride, rng.Intn(2) == 0, uint64(rng.Intn(4)))
+				case 2:
+					addrs := make([]uint64, rng.Intn(20)+1)
+					for i := range addrs {
+						addrs[i] = arr.Addr(uint64(rng.Intn(int(dataBytes))))
+					}
+					st.Gather(addrs, rng.Intn(2) == 0, 1)
+				case 3:
+					st.Critical(uint64(rng.Intn(500) + 1))
+				}
+			}
+		}
+	}
+	return p
+}
+
+// TestRandomProgramInvariants checks, over arbitrary programs, the
+// accounting identities every run must satisfy.
+func TestRandomProgramInvariants(t *testing.T) {
+	cfg := machine.TinyTest()
+	f := func(seed int64) bool {
+		p := randomProgram(t, seed)
+		res, err := Run(cfg, p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		g := res.Ground
+		// 1. Per-processor: busy + sync + imb == wall.
+		for pr := 0; pr < res.Procs; pr++ {
+			sum := g.PerProcBusy[pr] + g.PerProcSync[pr] + g.PerProcImb[pr]
+			if math.Abs(sum-res.WallCycles) > 1e-6*(res.WallCycles+1) {
+				t.Logf("seed %d: proc %d attribution %g != wall %g", seed, pr, sum, res.WallCycles)
+				return false
+			}
+		}
+		// 2. Counter sanity.
+		if err := res.Report.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		tot := res.Report.Total()
+		if tot[counters.L1DMisses] < tot[counters.L2Misses] {
+			return false
+		}
+		// 3. Miss classes sum to total L2 misses.
+		if g.Compulsory+g.Coherence+g.Conflict != tot[counters.L2Misses] {
+			t.Logf("seed %d: class sum mismatch", seed)
+			return false
+		}
+		// 4. Uniprocessor runs never report store-to-shared or imbalance.
+		if res.Procs == 1 && (tot[counters.StoreShared] != 0 || g.ImbCycles != 0) {
+			return false
+		}
+		// 5. Determinism: a second run is bit-identical.
+		res2, err := Run(cfg, randomProgram(t, seed))
+		if err != nil {
+			return false
+		}
+		if res2.WallCycles != res.WallCycles || res2.Report.Total() != tot {
+			t.Logf("seed %d: nondeterministic", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullSizeOriginSmoke runs one small program on the full-size Origin
+// 2000 configuration — the 4 MB L2 machine is usable, just slow for full
+// campaigns.
+func TestFullSizeOriginSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size machine")
+	}
+	cfg := machine.Origin2000()
+	p, err := NewProgram("smoke", 4, 1<<20, cfg.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := p.MustAlloc("a", 1<<20)
+	for r := 0; r < 2; r++ {
+		reg := p.AddRegion("sweep")
+		for pr := 0; pr < 4; pr++ {
+			reg.Proc(pr).Read(arr.Base+uint64(pr)*(1<<18), 1<<15, 8, 4)
+		}
+	}
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	// First sweep misses (compulsory), second hits the 4 MB L2 entirely.
+	if res.Ground.Conflict != 0 {
+		t.Errorf("conflict misses on an L2-fitting set: %d", res.Ground.Conflict)
+	}
+}

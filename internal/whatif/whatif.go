@@ -1,0 +1,185 @@
+// Package whatif implements §2.6 of the paper: evaluating the performance
+// impact of hypothetical machine changes by modifying the fitted model's
+// parameters and re-evaluating its equations — without re-running the
+// application. Supported knobs:
+//
+//   - faster/slower L2 cache, interconnect/memory, and synchronization
+//     support (scaling t2, tm(n), tsync respectively),
+//   - a different processor issue width (scaling cpi0),
+//   - an L2 cache k× larger: the L2 miss rate splits into a coherence
+//     component Coh(s0,n), assumed cache-size independent, plus a
+//     uniprocessor component 1 − L2hitr(s0/(n·k), 1) — growing the cache by
+//     k is like shrinking the per-processor data set by k (Eq. 11 and the
+//     surrounding discussion),
+//   - a new synchronization primitive (a replacement tsync), with the
+//     paper's caveat that the imbalance interaction is not modelled.
+package whatif
+
+import (
+	"fmt"
+
+	"scaltool/internal/model"
+	"scaltool/internal/stats"
+)
+
+// Scenario is a set of hypothetical machine changes. Scale factors default
+// to 1 (unchanged) when zero.
+type Scenario struct {
+	Name string
+
+	T2Scale    float64 // L2 cache speed: t2 → t2 × T2Scale
+	TmScale    float64 // memory/interconnect speed: tm(n) → tm(n) × TmScale
+	TSyncScale float64 // synchronization support: tsync(n) → tsync(n) × TSyncScale
+	CPI0Scale  float64 // processor issue width: cpi0 → cpi0 × CPI0Scale
+
+	// L2SizeFactor is the k of the paper's cache-growth estimate; 0 means
+	// unchanged (the measured miss rate is kept). Any explicit value —
+	// including exactly 1 — routes the miss rate through the Eq. 11
+	// estimate, so a sweep over k is internally consistent. Values < 1
+	// model a smaller cache.
+	L2SizeFactor float64
+}
+
+func (s Scenario) normalized() Scenario {
+	def := func(v *float64) {
+		if *v == 0 {
+			*v = 1
+		}
+	}
+	def(&s.T2Scale)
+	def(&s.TmScale)
+	def(&s.TSyncScale)
+	def(&s.CPI0Scale)
+	def(&s.L2SizeFactor)
+	return s
+}
+
+// Validate rejects non-physical scenarios.
+func (s Scenario) Validate() error {
+	s = s.normalized()
+	for name, v := range map[string]float64{
+		"T2Scale": s.T2Scale, "TmScale": s.TmScale, "TSyncScale": s.TSyncScale,
+		"CPI0Scale": s.CPI0Scale, "L2SizeFactor": s.L2SizeFactor,
+	} {
+		if v < 0 {
+			return fmt.Errorf("whatif: %s = %g must be non-negative", name, v)
+		}
+	}
+	return nil
+}
+
+// Prediction is the model's estimate for one processor count under a
+// scenario.
+type Prediction struct {
+	Procs int
+
+	// BaselineCycles is the model's reconstruction of the measured run
+	// (cycles accumulated over processors); comparing it against the
+	// actual measurement bounds the reconstruction error.
+	BaselineCycles float64
+	// NewCycles is the predicted cycles under the scenario.
+	NewCycles float64
+
+	// MeasuredCycles is the actual measurement, for reference.
+	MeasuredCycles float64
+
+	// L2MissRate / NewL2MissRate are the local L2 miss rates before/after
+	// (only the New value changes, and only via L2SizeFactor).
+	L2MissRate    float64
+	NewL2MissRate float64
+}
+
+// SpeedupVsBaseline returns BaselineCycles / NewCycles.
+func (p Prediction) SpeedupVsBaseline() float64 {
+	if p.NewCycles <= 0 {
+		return 0
+	}
+	return p.BaselineCycles / p.NewCycles
+}
+
+// Evaluate predicts the scenario's impact at every measured processor
+// count. The application is never re-run: everything derives from the
+// fitted model and the campaign's uniprocessor curves.
+func Evaluate(m *model.Model, sc Scenario) ([]Prediction, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	curveMiss := sc.L2SizeFactor != 0 // explicit k, even k=1: use the Eq. 11 estimate
+	sc = sc.normalized()
+	out := make([]Prediction, 0, len(m.Points))
+	for _, pe := range m.Points {
+		b := pe.Meas
+		instr := float64(b.Instr)
+		missBase := 1 - b.L2HitRate
+		l1Misses := (b.H2 + b.Hm) * instr // absolute miss count — unchanged by the scenario
+
+		cycles := func(cpi0, t2, tm, l2Miss, tsyncScale float64) float64 {
+			busy := cpi0*(1-pe.FracSync-pe.FracImb)*instr +
+				l1Misses*(t2*(1-l2Miss)+tm*l2Miss)
+			sync := 0.0
+			if b.Procs > 1 {
+				// Eq. 10 re-evaluated under the new parameters.
+				sync = float64(b.NtSync) * (cpi0 + pe.TSync*tsyncScale)
+			}
+			imb := m.CpiImb * pe.FracImb * instr
+			return busy + sync + imb
+		}
+
+		p := Prediction{
+			Procs:          pe.Procs,
+			MeasuredCycles: float64(b.Cycles),
+			L2MissRate:     missBase,
+			NewL2MissRate:  missBase,
+		}
+		p.BaselineCycles = cycles(m.CPI0, m.T2, pe.TmN, missBase, 1)
+
+		newMiss := missBase
+		if curveMiss {
+			// Eq. 11: coherence component unchanged; uniprocessor
+			// component from the hit-rate curve at s0/(n·k).
+			sEff := float64(m.S0) / (float64(pe.Procs) * sc.L2SizeFactor)
+			newMiss = stats.Clamp(pe.Coh+(1-m.HitRateAt(sEff)), 0, 1)
+			p.NewL2MissRate = newMiss
+		}
+		p.NewCycles = cycles(m.CPI0*sc.CPI0Scale, m.T2*sc.T2Scale, pe.TmN*sc.TmScale, newMiss, sc.TSyncScale)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Standard named scenarios used by the CLI and the experiments harness.
+
+// DoubleL2 returns the paper's running example: what if the L2 doubled?
+func DoubleL2() Scenario { return Scenario{Name: "double-L2", L2SizeFactor: 2} }
+
+// FasterMemory returns a 2× faster memory/interconnect scenario.
+func FasterMemory() Scenario { return Scenario{Name: "memory-2x-faster", TmScale: 0.5} }
+
+// FasterSync returns a 4× faster synchronization primitive scenario.
+func FasterSync() Scenario { return Scenario{Name: "sync-4x-faster", TSyncScale: 0.25} }
+
+// WiderIssue returns a 1.5× wider-issue processor scenario.
+func WiderIssue() Scenario { return Scenario{Name: "issue-1.5x", CPI0Scale: 1 / 1.5} }
+
+// SweepPoint is one entry of an L2-size sweep.
+type SweepPoint struct {
+	Factor      float64 // the k of Eq. 11
+	Predictions []Prediction
+}
+
+// SweepL2 evaluates a range of L2-size factors — the "how much cache is
+// enough" study a capacity-planning user runs. Factors must be positive.
+func SweepL2(m *model.Model, factors []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(factors))
+	for _, k := range factors {
+		if k <= 0 {
+			return nil, fmt.Errorf("whatif: non-positive L2 factor %g", k)
+		}
+		preds, err := Evaluate(m, Scenario{Name: fmt.Sprintf("l2x%g", k), L2SizeFactor: k})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Factor: k, Predictions: preds})
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/campaign"
+	"scaltool/internal/machine"
+	"scaltool/internal/model"
+)
+
+// fitted runs a small real campaign once and fits the model; all scenario
+// tests share it.
+var fittedModel *model.Model
+var fittedCfg = machine.ScaledOrigin()
+
+func getModel(t *testing.T) *model.Model {
+	t.Helper()
+	if fittedModel != nil {
+		return fittedModel
+	}
+	app, _ := apps.ByName("t3dheat")
+	plan, err := campaign.NewPlan(app, fittedCfg, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := &campaign.Runner{Cfg: fittedCfg}
+	res, err := rn.Run(app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Fit(model.DefaultOptions(fittedCfg.L2.SizeBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fittedModel = m
+	return m
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := (Scenario{}).Validate(); err != nil {
+		t.Errorf("empty scenario rejected: %v", err)
+	}
+	if err := (Scenario{TmScale: -1}).Validate(); err == nil {
+		t.Error("negative scale accepted")
+	}
+	for _, sc := range []Scenario{DoubleL2(), FasterMemory(), FasterSync(), WiderIssue()} {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+		if sc.Name == "" {
+			t.Error("unnamed standard scenario")
+		}
+	}
+}
+
+func TestNeutralScenarioReconstructsBaseline(t *testing.T) {
+	m := getModel(t)
+	preds, err := Evaluate(m, Scenario{Name: "neutral"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(m.Points) {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	for _, p := range preds {
+		if p.NewCycles != p.BaselineCycles {
+			t.Errorf("n=%d: neutral scenario changed cycles", p.Procs)
+		}
+		// The model's reconstruction of the measured run must be close —
+		// this bounds every scenario's systematic error.
+		rel := math.Abs(p.BaselineCycles-p.MeasuredCycles) / p.MeasuredCycles
+		if rel > 0.15 {
+			t.Errorf("n=%d: baseline reconstruction off by %.0f%% (%.3g vs %.3g)",
+				p.Procs, 100*rel, p.BaselineCycles, p.MeasuredCycles)
+		}
+		if p.NewL2MissRate != p.L2MissRate {
+			t.Errorf("n=%d: neutral scenario changed the miss rate", p.Procs)
+		}
+	}
+}
+
+func TestDoubleL2ReducesMissesAtLowCounts(t *testing.T) {
+	m := getModel(t)
+	preds, err := Evaluate(m, DoubleL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := preds[0]
+	if p1.Procs != 1 {
+		t.Fatal("first prediction not n=1")
+	}
+	// T3dheat's data set is 10× the L2: doubling the cache still leaves a
+	// 5× overflow at n=1, so the gain there is modest but real.
+	if p1.NewL2MissRate >= p1.L2MissRate {
+		t.Errorf("n=1: miss rate %.3f → %.3f (no improvement)", p1.L2MissRate, p1.NewL2MissRate)
+	}
+	if sp := p1.SpeedupVsBaseline(); sp < 1.01 || sp > 1.5 {
+		t.Errorf("n=1: speedup %.2f, want modest improvement", sp)
+	}
+	// The big win is where doubling makes the per-processor set fit: at
+	// n=8, s0/(8·2) ≈ 0.63× the L2 versus an overflowing baseline.
+	var p8 Prediction
+	for _, p := range preds {
+		if p.Procs == 8 {
+			p8 = p
+		}
+	}
+	if sp := p8.SpeedupVsBaseline(); sp < 1.1 {
+		t.Errorf("n=8: speedup %.2f, want substantial once the set fits", sp)
+	}
+	if p8.NewL2MissRate >= 0.5*p8.L2MissRate+0.05 {
+		t.Errorf("n=8: miss rate %.3f → %.3f, want a large cut", p8.L2MissRate, p8.NewL2MissRate)
+	}
+}
+
+func TestHalfL2IncreasesMisses(t *testing.T) {
+	m := getModel(t)
+	preds, err := Evaluate(m, Scenario{Name: "half-L2", L2SizeFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := preds[0]
+	if p1.NewL2MissRate < p1.L2MissRate {
+		t.Errorf("halving the L2 reduced the miss rate: %.3f → %.3f", p1.L2MissRate, p1.NewL2MissRate)
+	}
+	if p1.NewCycles < p1.BaselineCycles {
+		t.Error("halving the L2 made the program faster")
+	}
+}
+
+func TestFasterMemoryHelpsMostWhenMissBound(t *testing.T) {
+	m := getModel(t)
+	preds, err := Evaluate(m, FasterMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=1 is miss-bound (conflict misses): 2× faster memory helps a lot.
+	sp1 := preds[0].SpeedupVsBaseline()
+	if sp1 < 1.2 {
+		t.Errorf("n=1 speedup under 2x memory = %.2f, want large", sp1)
+	}
+	for _, p := range preds {
+		if p.NewCycles > p.BaselineCycles {
+			t.Errorf("n=%d: faster memory slowed the program", p.Procs)
+		}
+	}
+}
+
+func TestFasterSyncHelpsAtScale(t *testing.T) {
+	m := getModel(t)
+	preds, err := Evaluate(m, FasterSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := preds[0], preds[len(preds)-1]
+	if first.NewCycles != first.BaselineCycles {
+		t.Error("n=1 has no sync cost to remove")
+	}
+	if last.NewCycles >= last.BaselineCycles {
+		t.Errorf("n=%d: faster sync did not help a barrier-heavy code", last.Procs)
+	}
+}
+
+func TestWiderIssueScalesCompute(t *testing.T) {
+	m := getModel(t)
+	preds, err := Evaluate(m, WiderIssue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		if p.NewCycles >= p.BaselineCycles {
+			t.Errorf("n=%d: wider issue did not help", p.Procs)
+		}
+		// Memory-bound at n=1: the gain must be well below the full 1.5×.
+		if p.Procs == 1 && p.SpeedupVsBaseline() > 1.4 {
+			t.Errorf("n=1: speedup %.2f too close to the issue-width ratio for a miss-bound code", p.SpeedupVsBaseline())
+		}
+	}
+}
+
+func TestEvaluateRejectsBadScenario(t *testing.T) {
+	m := getModel(t)
+	if _, err := Evaluate(m, Scenario{T2Scale: -2}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+func TestSweepL2Monotone(t *testing.T) {
+	m := getModel(t)
+	sweep, err := SweepL2(m, []float64{0.5, 1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 5 {
+		t.Fatalf("sweep points = %d", len(sweep))
+	}
+	// At every processor count, more cache never predicts more cycles.
+	for i := 1; i < len(sweep); i++ {
+		for j := range sweep[i].Predictions {
+			prev, cur := sweep[i-1].Predictions[j], sweep[i].Predictions[j]
+			if cur.NewCycles > prev.NewCycles*1.0000001 {
+				t.Errorf("k=%g→%g at n=%d: cycles rose %.4g → %.4g",
+					sweep[i-1].Factor, sweep[i].Factor, cur.Procs, prev.NewCycles, cur.NewCycles)
+			}
+		}
+	}
+	if _, err := SweepL2(m, []float64{0}); err == nil {
+		t.Error("zero factor accepted")
+	}
+}

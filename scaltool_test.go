@@ -1,0 +1,144 @@
+package scaltool
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAppsRegistry(t *testing.T) {
+	names := Apps()
+	if len(names) < 5 {
+		t.Fatalf("Apps = %v", names)
+	}
+	for _, want := range []string{"t3dheat", "hydro2d", "swim"} {
+		if _, err := AppByName(want); err != nil {
+			t.Errorf("AppByName(%q): %v", want, err)
+		}
+	}
+}
+
+func TestConfigsValidate(t *testing.T) {
+	for _, c := range []MachineConfig{Origin2000(), ScaledOrigin()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	cfg := ScaledOrigin()
+	app, err := AppByName("hydro2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(cfg, app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bps := a.Breakdown()
+	if len(bps) != 4 {
+		t.Fatalf("breakdown points = %d", len(bps))
+	}
+	// Validation: model MP vs speedshop MP within the small-campaign band.
+	measured := a.MeasuredMP()
+	for _, bp := range bps {
+		if diff := math.Abs(bp.MP()-measured[bp.Procs]) / bp.Base; diff > 0.2 {
+			t.Errorf("n=%d: MP diff %.0f%% of base", bp.Procs, 100*diff)
+		}
+	}
+	// Speedups ascend for this modestly-scaling app up to 8.
+	sps := a.Speedups()
+	if sps[0].Speedup != 1 {
+		t.Errorf("speedup(1) = %g", sps[0].Speedup)
+	}
+	if sps[len(sps)-1].Speedup <= sps[0].Speedup {
+		t.Error("no speedup at all")
+	}
+	// Cost matches the plan.
+	cost := a.Cost()
+	if cost.Runs < 2*4-1 {
+		t.Errorf("cost = %+v", cost)
+	}
+	// What-if machinery reachable from the facade.
+	preds, err := a.WhatIf(FasterMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 4 {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	for _, p := range preds {
+		if p.NewCycles > p.BaselineCycles {
+			t.Errorf("n=%d: faster memory slowed things down", p.Procs)
+		}
+	}
+}
+
+func TestAnalyzeRejectsBadInputs(t *testing.T) {
+	cfg := ScaledOrigin()
+	app, _ := AppByName("swim")
+	if _, err := Analyze(cfg, app, 3); err == nil {
+		t.Error("non-power-of-two maxProcs accepted")
+	}
+	if _, err := Analyze(MachineConfig{}, app, 2); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestCustomProgramThroughFacade(t *testing.T) {
+	cfg := ScaledOrigin()
+	prog, err := NewProgram("custom", 2, 4096, cfg.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := prog.Alloc("a", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := prog.AddRegion("work")
+	reg.Proc(0).Read(arr.Base, 256, 8, 2)
+	reg.Proc(1).Read(arr.Base+2048, 256, 8, 2)
+	res, err := Simulate(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles <= 0 || res.Report.Procs != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestExistingToolsCost(t *testing.T) {
+	c := ExistingToolsCost(6)
+	if c.Runs != 12 || c.Processors != 126 {
+		t.Fatalf("existing cost = %+v", c)
+	}
+}
+
+func TestSegmentModelThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	cfg := ScaledOrigin()
+	app, _ := AppByName("t3dheat")
+	a, err := Analyze(cfg, app, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := a.Segments()
+	if len(segs) < 5 {
+		t.Fatalf("segments = %v", segs)
+	}
+	m, err := a.SegmentModel("matvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Breakdown()) != 3 {
+		t.Fatalf("segment breakdown points = %d", len(m.Breakdown()))
+	}
+	if _, err := a.SegmentModel("nope"); err == nil {
+		t.Error("unknown segment accepted")
+	}
+}
