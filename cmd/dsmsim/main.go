@@ -73,10 +73,10 @@ func run(appName string, procs int, size uint64, mach, jsonPath string, mux bool
 	tb := table.New("Hardware event counters (perfex analogue, summed over processors)",
 		"event", "#count")
 	for e := 0; e < counters.NumEvents; e++ {
-		tb.Row(counters.Event(e).String(), int(tot[counters.Event(e)]))
+		tb.Row(counters.Event(e).String(), tot[counters.Event(e)])
 	}
-	tb.Row("barriers (instrumented)", int(report.Barriers))
-	tb.Row("locks (instrumented)", int(report.Locks))
+	tb.Row("barriers (instrumented)", report.Barriers)
+	tb.Row("locks (instrumented)", report.Locks)
 	fmt.Println(tb.String())
 
 	td := table.New("Derived ratios", "quantity", "#value")

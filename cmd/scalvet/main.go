@@ -1,0 +1,154 @@
+// Command scalvet is the repo-specific static-analysis gate for the
+// Scal-Tool model core. It loads every package of the module (standard
+// library only: go/ast + go/types with a source importer; no external
+// dependencies) and reports file:line diagnostics from the analyzers in
+// internal/analysis, exiting non-zero on findings.
+//
+// Usage:
+//
+//	scalvet [-enable floatcmp,panicmsg,...] [-json] [packages]
+//
+// Packages default to ./... and are interpreted relative to the module
+// root (found by walking up from the working directory). Suppress a
+// diagnostic with a trailing "//scalvet:ignore reason" comment; the
+// reason is mandatory.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scaltool/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scalvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*enable)
+	if err != nil {
+		fmt.Fprintln(stderr, "scalvet:", err)
+		return 2
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "scalvet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadModule(root, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "scalvet:", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	relativize(diags)
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // encode a clean tree as [], not null
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "scalvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "scalvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -enable list against the registry.
+func selectAnalyzers(enable string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if enable == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(enable, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (see scalvet -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-enable %q selects no analyzers", enable)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relativize rewrites absolute file positions relative to the working
+// directory for readable, clickable output.
+func relativize(diags []analysis.Diagnostic) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+}

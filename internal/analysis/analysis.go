@@ -1,0 +1,167 @@
+// Package analysis implements scalvet, the repo-specific static-analysis
+// pass for the Scal-Tool model core. It is built only on the standard
+// library (go/ast, go/parser, go/token, go/types): the module stays
+// dependency-free.
+//
+// Scal-Tool's value is a trustworthy decomposition of cycles into
+// Base/L2Lim/Sync/Imb. A single silent float bug, counter overflow, or
+// data race in the campaign/sim worker pools corrupts every downstream
+// figure, so this package machine-checks the invariants the code
+// previously only asserted via scattered panics:
+//
+//   - floatcmp:     ==/!= between floating-point expressions
+//   - counterconv:  lossy uint64→float64/int conversions of counter fields
+//   - loopcapture:  goroutine literals capturing loop variables
+//   - sharedmut:    goroutine literals writing shared state unguarded
+//   - panicmsg:     the "pkg: message" panic/assert message convention
+//   - exhauststate: non-exhaustive switches over coherence/placement enums
+//
+// A diagnostic on a given line is suppressed by a trailing
+// "//scalvet:ignore reason" comment on the same line or by one on its own
+// line immediately above. The reason is mandatory: a bare ignore is itself
+// reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("scaltool/internal/sim")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one scalvet check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// PathSuffixes, when non-empty, restricts the analyzer to packages
+	// whose import path ends in one of the suffixes.
+	PathSuffixes []string
+	Run          func(*Pass)
+}
+
+func (a *Analyzer) appliesTo(pkgPath string) bool {
+	if len(a.PathSuffixes) == 0 {
+		return true
+	}
+	for _, suf := range a.PathSuffixes {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer set in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, CounterConv, LoopCapture, SharedMut, PanicMsg, ExhaustState}
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression (nil if untypeable).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Inspect walks every file of the package.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Run applies the analyzers (respecting their package filters) to the
+// packages, drops //scalvet:ignore'd findings, and returns the remainder
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, runPackage(pkg, analyzers, true)...)
+	}
+	sortDiags(all)
+	return all
+}
+
+// RunUnfiltered runs the analyzers over one package ignoring their package
+// filters (fixture tests use it); //scalvet:ignore suppression still
+// applies.
+func RunUnfiltered(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags := runPackage(pkg, analyzers, false)
+	sortDiags(diags)
+	return diags
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, applyPathFilter bool) []Diagnostic {
+	ig := collectIgnores(pkg)
+	out := append([]Diagnostic(nil), ig.malformed...)
+	for _, a := range analyzers {
+		if applyPathFilter && !a.appliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if ig.suppressed(d.File, d.Line) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

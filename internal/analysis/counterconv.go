@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CounterConv flags lossy uint64→float64/int conversions of event-counter
+// fields. float64 holds integers exactly only up to 2^53; a long campaign's
+// cycle counter past that silently rounds, biasing the least-squares fits
+// (Eq. 3) without any error. Conversions must go through an allowlisted
+// helper (counters.ToFloat, which checks the bound, or the ratio helpers).
+//
+// A "counter expression" is an index into one of the configured counter
+// types (counters.Set), a uint64 field selected from one
+// (counters.RunReport, model.Measurement), or a uint64-returning method
+// call on one. Values laundered through intermediate locals are not
+// tracked — the analyzer is syntactic by design.
+var CounterConv = NewCounterConv(
+	[]string{"counters.Set", "counters.RunReport", "model.Measurement"},
+	[]string{"ratio", "ToFloat"},
+)
+
+// NewCounterConv builds a counterconv instance. counterTypes lists the
+// counter-bearing types as "pkgname.TypeName"; allowFns names functions
+// whose bodies are exempt.
+func NewCounterConv(counterTypes, allowFns []string) *Analyzer {
+	typeSet := map[string]bool{}
+	for _, t := range counterTypes {
+		typeSet[t] = true
+	}
+	allowSet := map[string]bool{}
+	for _, f := range allowFns {
+		allowSet[f] = true
+	}
+	a := &Analyzer{
+		Name: "counterconv",
+		Doc:  "flags lossy uint64→float64/int conversions of event-counter fields",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && allowSet[fd.Name.Name] {
+					continue // allowlisted helper
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					checkCounterConv(pass, n, typeSet)
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+func checkCounterConv(pass *Pass, n ast.Node, counterTypes map[string]bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return // an ordinary call, not a conversion
+	}
+	if !lossyForUint64(tv.Type) {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if !isUint64(pass.TypeOf(arg)) {
+		return
+	}
+	if name, ok := counterOrigin(pass, arg, counterTypes); ok {
+		pass.Reportf(call.Pos(), "lossy conversion of counter %s to %s (values past 2^53 lose precision); use counters.ToFloat or a ratio helper", name, tv.Type)
+	}
+}
+
+// lossyForUint64 reports whether converting a uint64 to dst can lose
+// information: floats round past 2^53, narrower or signed integers
+// truncate or change sign.
+func lossyForUint64(dst types.Type) bool {
+	b, ok := dst.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0:
+		return true
+	case b.Info()&types.IsInteger != 0:
+		return b.Kind() != types.Uint64 && b.Kind() != types.Uintptr
+	}
+	return false
+}
+
+func isUint64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// counterOrigin reports whether e reads directly from a configured counter
+// type, returning a printable name for the diagnostic.
+func counterOrigin(pass *Pass, e ast.Expr, counterTypes map[string]bool) (string, bool) {
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		if namedIn(pass.TypeOf(x.X), counterTypes) {
+			return types.ExprString(e), true
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.Pkg.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal && namedIn(pass.TypeOf(x.X), counterTypes) {
+			return types.ExprString(e), true
+		}
+	case *ast.CallExpr:
+		if fun, ok := x.Fun.(*ast.SelectorExpr); ok {
+			if sel := pass.Pkg.Info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal && namedIn(pass.TypeOf(fun.X), counterTypes) {
+				return types.ExprString(e), true
+			}
+		}
+	}
+	return "", false
+}
+
+// namedIn reports whether t (or what it points to) is a named type whose
+// "pkgname.TypeName" is configured.
+func namedIn(t types.Type, set map[string]bool) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return set[obj.Pkg().Name()+"."+obj.Name()]
+}

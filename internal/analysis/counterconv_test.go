@@ -1,0 +1,22 @@
+package analysis
+
+import "testing"
+
+func TestCounterConvFixture(t *testing.T) {
+	a := NewCounterConv(
+		[]string{"counterconv.Set", "counterconv.Report"},
+		[]string{"ratio"},
+	)
+	testFixture(t, a, "counterconv")
+}
+
+func TestCounterConvDefaultConfig(t *testing.T) {
+	// The production instance must track the real counter types and
+	// allow the sanctioned conversion helpers.
+	if CounterConv.Name != "counterconv" {
+		t.Fatalf("name = %q", CounterConv.Name)
+	}
+	if len(CounterConv.PathSuffixes) != 0 {
+		t.Error("counterconv must scan every package")
+	}
+}

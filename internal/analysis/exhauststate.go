@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ExhaustState flags switch statements over the coherence-state and
+// placement-policy enums that neither cover every declared constant nor
+// have a default clause. Adding a protocol state (MSI's missing Exclusive,
+// an Owned state, a new placement policy) must not leave a switch silently
+// falling through: that is how a new state corrupts miss classification
+// without a single failing test.
+var ExhaustState = NewExhaustState("cache.State", "cache.MissKind", "memdsm.Placement")
+
+// NewExhaustState builds an exhauststate instance checking switches over
+// the given "pkgname.TypeName" enum types.
+func NewExhaustState(enumTypes ...string) *Analyzer {
+	set := map[string]bool{}
+	for _, t := range enumTypes {
+		set[t] = true
+	}
+	a := &Analyzer{
+		Name: "exhauststate",
+		Doc:  "flags non-exhaustive switches over coherence/placement enums",
+	}
+	a.Run = func(pass *Pass) {
+		pass.Inspect(func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkExhaustive(pass, sw, set)
+			return true
+		})
+	}
+	return a
+}
+
+func checkExhaustive(pass *Pass, sw *ast.SwitchStmt, enumTypes map[string]bool) {
+	tagType := pass.TypeOf(sw.Tag)
+	if !namedIn(tagType, enumTypes) {
+		return
+	}
+	named := tagType.(*types.Named)
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return
+	}
+	covered := map[types.Object]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // a default clause handles future members
+		}
+		for _, e := range cc.List {
+			if obj := constObjOf(pass, e); obj != nil {
+				covered[obj] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Switch, "switch on %s misses %s and has no default clause",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumMembers returns the constants of the named type declared in its
+// defining package, in scope (alphabetical) order.
+func enumMembers(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// constObjOf resolves a case expression to the constant object it names.
+func constObjOf(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	if c, ok := pass.Pkg.Info.Uses[id].(*types.Const); ok {
+		return c
+	}
+	return nil
+}

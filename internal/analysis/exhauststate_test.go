@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestExhaustStateFixture(t *testing.T) {
+	testFixture(t, NewExhaustState("exhauststate.State"), "exhauststate")
+}

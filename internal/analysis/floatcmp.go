@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point expressions in the model
+// core. Epsilon-free CPI comparisons are how Eq. 1/8 silently diverge: two
+// mathematically equal curve values differ in the last ulp and an exact
+// compare branches the wrong way without any visible failure. Comparing
+// two compile-time constants folds exactly and is not flagged.
+var FloatCmp = NewFloatCmp("internal/model", "internal/stats", "internal/experiments")
+
+// NewFloatCmp builds a floatcmp instance restricted to packages whose
+// import path ends in one of pathSuffixes (none = all packages).
+func NewFloatCmp(pathSuffixes ...string) *Analyzer {
+	return &Analyzer{
+		Name:         "floatcmp",
+		Doc:          "flags ==/!= comparisons between floating-point expressions",
+		PathSuffixes: pathSuffixes,
+		Run:          runFloatCmp,
+	}
+}
+
+func runFloatCmp(pass *Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+			return true
+		}
+		if pass.Pkg.Info.Types[be.X].Value != nil && pass.Pkg.Info.Types[be.Y].Value != nil {
+			return true // both constant: folds exactly
+		}
+		pass.Reportf(be.OpPos, "exact floating-point %s comparison; use a tolerance or restructure the test", be.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

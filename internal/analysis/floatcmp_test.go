@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+func TestFloatCmpFixture(t *testing.T) {
+	// Unrestricted instance: fixtures live outside the default package
+	// filter.
+	testFixture(t, NewFloatCmp(), "floatcmp")
+}
+
+func TestFloatCmpPathFilter(t *testing.T) {
+	if !FloatCmp.appliesTo("scaltool/internal/model") {
+		t.Error("floatcmp should apply to internal/model")
+	}
+	if !FloatCmp.appliesTo("scaltool/internal/stats") {
+		t.Error("floatcmp should apply to internal/stats")
+	}
+	if FloatCmp.appliesTo("scaltool/internal/sim") {
+		t.Error("floatcmp should not apply to internal/sim")
+	}
+	if FloatCmp.appliesTo("scaltool/internal/modelx") {
+		t.Error("suffix match must respect path boundaries")
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	// The ignored fixture pairs floatcmp findings with //scalvet:ignore
+	// directives: valid ones suppress, a bare one is itself reported.
+	testFixture(t, NewFloatCmp(), "ignored")
+}

@@ -1,0 +1,99 @@
+package analysis
+
+// Fixture-driven test harness: each analyzer fixture under testdata/src
+// annotates the lines it expects diagnostics on with
+//
+//	flagged() // want "message substring"
+//
+// (several quoted substrings may follow one want). The harness loads the
+// fixture standalone, runs the analyzer with //scalvet:ignore filtering
+// active, and requires an exact match between expected and produced
+// diagnostics.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file   string
+	line   int
+	substr string
+}
+
+// collectWants extracts the // want annotations of a loaded fixture.
+func collectWants(t *testing.T, pkg *Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(strings.TrimSuffix(text, "*/"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, text)
+				}
+				for _, m := range matches {
+					s, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, substr: s})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// testFixture checks one analyzer against one fixture directory.
+func testFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	got := RunUnfiltered(pkg, []*Analyzer{a})
+	wants := collectWants(t, pkg)
+
+	unmatched := append([]Diagnostic(nil), got...)
+	for _, w := range wants {
+		found := false
+		for i, d := range unmatched {
+			if d.File == w.file && d.Line == w.line && strings.Contains(d.Message, w.substr) {
+				unmatched = append(unmatched[:i], unmatched[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic containing %q; got:\n%s", w.file, w.line, w.substr, diagList(got))
+		}
+	}
+	for _, d := range unmatched {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func diagList(ds []Diagnostic) string {
+	if len(ds) == 0 {
+		return "  (none)"
+	}
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

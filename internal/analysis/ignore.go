@@ -1,0 +1,56 @@
+package analysis
+
+import "strings"
+
+// ignorePrefix is the suppression directive. Usage, always with a reason:
+//
+//	risky() //scalvet:ignore the exact compare is the sentinel test
+//
+// or on its own line immediately above the flagged one.
+const ignorePrefix = "//scalvet:ignore"
+
+type ignoreSet struct {
+	// lines maps file → set of lines carrying a valid ignore directive.
+	lines map[string]map[int]bool
+	// malformed reports directives missing the mandatory reason.
+	malformed []Diagnostic
+}
+
+func collectIgnores(pkg *Package) *ignoreSet {
+	ig := &ignoreSet{lines: map[string]map[int]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				pos := pkg.Fset.Position(c.Pos())
+				if reason == "" {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Analyzer: "ignore",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  `scalvet:ignore needs a reason ("//scalvet:ignore why this is safe"); nothing suppressed`,
+					})
+					continue
+				}
+				m := ig.lines[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					ig.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return ig
+}
+
+// suppressed reports whether a diagnostic at file:line is covered by an
+// ignore directive on the same line or the line directly above.
+func (ig *ignoreSet) suppressed(file string, line int) bool {
+	m := ig.lines[file]
+	return m != nil && (m[line] || m[line-1])
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopCapture flags goroutine literals that reference their enclosing
+// loop's iteration variables instead of receiving them as arguments (the
+// fan-out idiom of sim/engine.go and campaign/campaign.go). Even with Go
+// 1.22's per-iteration loop variables this couples the goroutine to the
+// loop's scoping rules; the worker-pool code passes values explicitly so
+// the data flow into each worker stays visible.
+var LoopCapture = &Analyzer{
+	Name: "loopcapture",
+	Doc:  "flags goroutine literals capturing loop variables",
+	Run:  runLoopCapture,
+}
+
+func runLoopCapture(pass *Pass) {
+	reported := map[token.Pos]bool{}
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		loopVars := map[types.Object]bool{}
+		collect := func(e ast.Expr) {
+			id, ok := e.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+				loopVars[obj] = true // "for k = range" over a pre-declared var
+			}
+		}
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if st.Key != nil {
+				collect(st.Key)
+			}
+			if st.Value != nil {
+				collect(st.Value)
+			}
+			body = st.Body
+		case *ast.ForStmt:
+			if init, ok := st.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					collect(lhs)
+				}
+			}
+			body = st.Body
+		default:
+			return true
+		}
+		if len(loopVars) == 0 {
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			gs, ok := m.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			// Arguments of the spawn call evaluate in the loop and are
+			// fine; only references from inside the literal body escape
+			// the iteration.
+			ast.Inspect(lit.Body, func(k ast.Node) bool {
+				id, ok := k.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := pass.Pkg.Info.Uses[id]; obj != nil && loopVars[obj] && !reported[id.Pos()] {
+					reported[id.Pos()] = true
+					pass.Reportf(id.Pos(), "goroutine captures loop variable %s; pass it as an argument", id.Name)
+				}
+				return true
+			})
+			return true
+		})
+		return true
+	})
+}

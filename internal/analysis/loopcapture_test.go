@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLoopCaptureFixture(t *testing.T) {
+	testFixture(t, LoopCapture, "loopcapture")
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// PanicMsg enforces the repo's "pkg: message" panic-prefix convention
+// (as established in cache, memdsm, network, stats): a panic whose message
+// can be determined statically must start with the enclosing package's
+// name and ": ". The same rule applies to the message arguments of the
+// internal/assert helpers (assert.True, assert.Failf, assert.Unreachable),
+// which exist precisely to produce that format. Non-constant messages
+// (panic(err) and friends) are skipped.
+//
+// In package main any leading "word: " tag is accepted, since commands
+// prefix with their own name.
+var PanicMsg = &Analyzer{
+	Name: "panicmsg",
+	Doc:  `enforces the "pkg: message" panic/assert message convention`,
+	Run:  runPanicMsg,
+}
+
+func runPanicMsg(pass *Pass) {
+	pkgName := pass.Pkg.Types.Name()
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		msgArg := panicMessageArg(pass, call)
+		if msgArg == nil {
+			return true
+		}
+		msg, ok := literalPrefix(pass, msgArg)
+		if !ok {
+			return true // dynamic message: cannot check statically
+		}
+		if !hasPkgPrefix(msg, pkgName) {
+			pass.Reportf(msgArg.Pos(), "panic message %q does not start with %q (repo convention is \"pkg: message\")", clip(msg), pkgName+": ")
+		}
+		return true
+	})
+}
+
+// panicMessageArg returns the message expression of a builtin panic(...)
+// or an internal/assert helper call, or nil.
+func panicMessageArg(pass *Pass, call *ast.CallExpr) ast.Expr {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if fn.Name != "panic" || len(call.Args) != 1 {
+			return nil
+		}
+		if _, ok := pass.Pkg.Info.Uses[fn].(*types.Builtin); !ok {
+			return nil
+		}
+		return call.Args[0]
+	case *ast.SelectorExpr:
+		id, ok := fn.X.(*ast.Ident)
+		if !ok || id.Name != "assert" {
+			return nil
+		}
+		switch fn.Sel.Name {
+		case "True":
+			if len(call.Args) >= 2 {
+				return call.Args[1]
+			}
+		case "Failf", "Unreachable":
+			if len(call.Args) >= 1 {
+				return call.Args[0]
+			}
+		}
+	}
+	return nil
+}
+
+// literalPrefix extracts the statically known leading string of a message
+// expression: a string literal, the left side of a "lit" + expr chain, or
+// the format literal of fmt.Sprintf/Sprint/Errorf.
+func literalPrefix(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if x.Kind.String() != "STRING" {
+			return "", false
+		}
+		s, err := strconv.Unquote(x.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		return literalPrefix(pass, x.X)
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && len(x.Args) > 0 {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
+				switch sel.Sel.Name {
+				case "Sprintf", "Sprint", "Errorf":
+					return literalPrefix(pass, x.Args[0])
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+func hasPkgPrefix(msg, pkgName string) bool {
+	if pkgName != "main" {
+		return strings.HasPrefix(msg, pkgName+": ")
+	}
+	// Commands tag with their own name: any leading "word: " is fine.
+	head, _, ok := strings.Cut(msg, ": ")
+	if !ok || head == "" {
+		return false
+	}
+	for _, r := range head {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '-' && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}

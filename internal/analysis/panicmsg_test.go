@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+func TestPanicMsgFixture(t *testing.T) {
+	testFixture(t, PanicMsg, "panicmsg")
+}
+
+func TestHasPkgPrefix(t *testing.T) {
+	cases := []struct {
+		msg, pkg string
+		want     bool
+	}{
+		{"cache: bad config", "cache", true},
+		{"cache bad config", "cache", false},
+		{"memdsm: x", "cache", false},
+		{"scalvet: usage", "main", true},
+		{"no prefix at all", "main", false},
+		{": empty tag", "main", false},
+	}
+	for _, c := range cases {
+		if got := hasPkgPrefix(c.msg, c.pkg); got != c.want {
+			t.Errorf("hasPkgPrefix(%q, %q) = %v, want %v", c.msg, c.pkg, got, c.want)
+		}
+	}
+}

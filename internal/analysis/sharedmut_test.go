@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSharedMutFixture(t *testing.T) {
+	testFixture(t, SharedMut, "sharedmut")
+}

@@ -1,0 +1,39 @@
+// Fixture for the counterconv analyzer. Set stands in for counters.Set
+// and Report for counters.RunReport; the test configures the analyzer
+// with "counterconv.Set"/"counterconv.Report" and allowlists ratio.
+package counterconv
+
+type Set [4]uint64
+
+type Report struct {
+	Wall    uint64
+	Procs   int
+	PerProc []Set
+}
+
+func (s *Set) Get(i int) uint64 { return s[i] }
+
+func flagged(s Set, r Report, e int) float64 {
+	a := float64(s[e])     // want "lossy conversion of counter s"
+	b := float64(r.Wall)   // want "lossy conversion of counter r.Wall"
+	c := int(s[0])         // want "lossy conversion of counter s"
+	d := float64(s.Get(e)) // want "lossy conversion of counter s.Get"
+	return a + b + float64(c) + d
+}
+
+func clean(s Set, r Report, plain uint64) float64 {
+	v := s[0]            // laundering through a local is not tracked (documented)
+	_ = float64(plain)   // plain uint64, not a counter type
+	_ = uint64(r.Wall)   // same-width copy: not lossy
+	_ = float64(r.Procs) // int field, not a uint64 counter
+	return float64(v) + ratio(s, 1)
+}
+
+// ratio is the allowlisted helper: counter conversions inside it are the
+// sanctioned path.
+func ratio(s Set, e int) float64 {
+	if s[e] == 0 {
+		return 0
+	}
+	return float64(s[e])
+}

@@ -1,0 +1,74 @@
+// Fixture for the exhauststate analyzer; State mimics cache.State and is
+// configured as "exhauststate.State" by the test.
+package exhauststate
+
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// other is an enum the test does NOT configure: never checked.
+type other int
+
+const (
+	alpha other = iota
+	beta
+)
+
+func flagged(s State) string {
+	switch s { // want "misses Modified"
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	}
+	return "?"
+}
+
+func flaggedTwo(s State) string {
+	switch s { // want "misses Invalid, Shared"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+func cleanAllCovered(s State) string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+func cleanDefault(s State) string {
+	switch s {
+	case Invalid:
+		return "I"
+	default:
+		return "?"
+	}
+}
+
+func cleanUnconfigured(o other) int {
+	switch o { // non-configured enum: not checked
+	case alpha:
+		return 1
+	}
+	return 0
+}
+
+func cleanUntagged(s State) int {
+	switch { // no tag: not an enum switch
+	case s == Invalid:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,24 @@
+// Fixture for the floatcmp analyzer: flagged and clean comparisons.
+package floatcmp
+
+type cpi float64
+
+func compare(a, b float64, c cpi, n int) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a != 0 { // want "floating-point != comparison"
+		return false
+	}
+	if c == 1 { // want "floating-point == comparison"
+		return true
+	}
+	if n == 3 { // integers compare exactly: clean
+		return true
+	}
+	const x = 1.5
+	if x == 1.5 { // both constant: folds exactly, clean
+		return a < b // ordered comparisons are clean
+	}
+	return a <= b
+}

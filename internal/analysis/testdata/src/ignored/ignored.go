@@ -1,0 +1,17 @@
+// Fixture for //scalvet:ignore suppression, exercised with an
+// unrestricted floatcmp instance.
+package ignored
+
+func eq(a, b float64) bool {
+	if a == b { //scalvet:ignore exact compare intended in this fixture
+		return true
+	}
+	//scalvet:ignore the directive on its own line covers the next line
+	if a != b {
+		return false
+	}
+	if a == 0 { /* want "floating-point == comparison" "needs a reason" */ //scalvet:ignore
+		return true
+	}
+	return a != 1 // want "floating-point != comparison"
+}

@@ -1,0 +1,39 @@
+// Fixture for the loopcapture analyzer.
+package loopcapture
+
+import "sync"
+
+func flagged(items []int) {
+	var wg sync.WaitGroup
+	for i, v := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = i // want "captures loop variable i"
+			_ = v // want "captures loop variable v"
+		}()
+	}
+	for j := 0; j < 4; j++ {
+		go func() {
+			_ = j // want "captures loop variable j"
+		}()
+	}
+	wg.Wait()
+}
+
+func clean(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		// Passing the loop variable as an argument evaluates it in the
+		// loop; the parameter shadows it inside the body.
+		go func(i int) {
+			defer wg.Done()
+			_ = i
+		}(i)
+	}
+	for _, v := range items {
+		_ = v // no goroutine: clean
+	}
+	wg.Wait()
+}

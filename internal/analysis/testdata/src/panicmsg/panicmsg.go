@@ -1,0 +1,47 @@
+// Fixture for the panicmsg analyzer. The local "assert" value mimics the
+// internal/assert helpers (fixtures load standalone and cannot import
+// module packages); the analyzer matches assert.* calls syntactically.
+package panicmsg
+
+import "fmt"
+
+type asserter struct{}
+
+func (asserter) True(cond bool, format string, args ...any) {}
+func (asserter) Failf(format string, args ...any)           {}
+func (asserter) Unreachable(msg string)                     {}
+
+var assert asserter
+
+func flagged(x int, err error) {
+	if x < 0 {
+		panic("negative input") // want "does not start with"
+	}
+	if x == 1 {
+		panic(fmt.Sprintf("bad value %d", x)) // want "does not start with"
+	}
+	if x == 2 {
+		panic("otherpkg: wrong prefix") // want "does not start with"
+	}
+	assert.True(x > 0, "count must be positive, got %d", x) // want "does not start with"
+	assert.Failf("bad state %d", x)                         // want "does not start with"
+	assert.Unreachable("unknown enum value")                // want "does not start with"
+}
+
+func clean(x int, err error) {
+	if x < 0 {
+		panic("panicmsg: negative input")
+	}
+	if x == 1 {
+		panic(fmt.Sprintf("panicmsg: bad value %d", x))
+	}
+	if x == 2 {
+		panic("panicmsg: context: " + err.Error())
+	}
+	if err != nil {
+		panic(err) // dynamic message: skipped
+	}
+	assert.True(x > 0, "panicmsg: count must be positive, got %d", x)
+	assert.Failf("panicmsg: bad state %d", x)
+	assert.Unreachable("panicmsg: unknown enum value")
+}

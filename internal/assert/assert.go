@@ -1,0 +1,34 @@
+// Package assert centralizes the invariant checks the simulator packages
+// previously open-coded as scattered panic(fmt.Sprintf(...)) calls. Every
+// message must follow the repo-wide "pkg: message" convention, which the
+// scalvet panicmsg analyzer machine-checks at the call sites.
+//
+// True is for cold paths (constructors, input validation): its variadic
+// arguments cost an allocation per call even when the condition holds.
+// Hot paths keep an explicit guard and call Failf only on failure:
+//
+//	if off >= r.Size {
+//		assert.Failf("memdsm: offset %d out of region %q", off, r.Name)
+//	}
+package assert
+
+import "fmt"
+
+// True panics with the formatted message unless cond holds.
+func True(cond bool, format string, args ...any) {
+	if !cond {
+		Failf(format, args...)
+	}
+}
+
+// Failf unconditionally panics with the formatted "pkg: message" text.
+// Hot paths pair it with an explicit condition so the variadic slice is
+// only built on the failure path.
+func Failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+// Unreachable marks impossible default arms of enum switches.
+func Unreachable(msg string) {
+	panic(msg)
+}

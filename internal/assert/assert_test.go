@@ -1,0 +1,37 @@
+package assert_test
+
+import (
+	"testing"
+
+	"scaltool/internal/assert"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want %q", want)
+		}
+		if got, ok := r.(string); !ok || got != want {
+			t.Fatalf("panic %v; want %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestTrueHolds(t *testing.T) {
+	assert.True(1 < 2, "assert: should not fire")
+}
+
+func TestTrueFails(t *testing.T) {
+	mustPanic(t, "assert: got 3", func() { assert.True(false, "assert: got %d", 3) })
+}
+
+func TestFailf(t *testing.T) {
+	mustPanic(t, "assert: boom 7", func() { assert.Failf("assert: boom %d", 7) })
+}
+
+func TestUnreachable(t *testing.T) {
+	mustPanic(t, "assert: impossible", func() { assert.Unreachable("assert: impossible") })
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"scaltool/internal/assert"
 	"scaltool/internal/machine"
 )
 
@@ -98,9 +99,8 @@ type Cache struct {
 // scrambles the page-number bits — contiguous within a page, pseudo-random
 // across pages, exactly like random frame allocation.
 func New(cfg machine.CacheConfig, pageBytes int) *Cache {
-	if err := cfg.Validate(); err != nil {
-		panic("cache: invalid config: " + err.Error())
-	}
+	err := cfg.Validate()
+	assert.True(err == nil, "cache: invalid config: %v", err)
 	c := &Cache{
 		sets:    make([][]way, cfg.Sets()), // per-set slices allocate lazily; most sets stay cold in small runs
 		assoc:   cfg.Assoc,
@@ -171,7 +171,7 @@ func (c *Cache) SetState(line uint64, st State) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("cache: SetState on non-resident line %#x", line))
+	assert.Failf("cache: SetState on non-resident line %#x", line)
 }
 
 // Eviction describes a line displaced by Insert.
@@ -186,7 +186,7 @@ type Eviction struct {
 // Inserting an already-resident line just refreshes state and LRU order.
 func (c *Cache) Insert(line uint64, st State) (ev Eviction, evicted bool) {
 	if st == Invalid {
-		panic("cache: Insert with Invalid state")
+		assert.Failf("cache: Insert with Invalid state")
 	}
 	idx := c.set(line)
 	s := c.sets[idx]

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"scaltool/internal/assert"
 	"scaltool/internal/machine"
 )
 
@@ -83,9 +84,8 @@ type Hierarchy struct {
 
 // NewHierarchy builds the private hierarchy for one processor.
 func NewHierarchy(cfg machine.Config) *Hierarchy {
-	if err := cfg.Validate(); err != nil {
-		panic("cache: invalid machine config: " + err.Error())
-	}
+	err := cfg.Validate()
+	assert.True(err == nil, "cache: invalid machine config: %v", err)
 	return &Hierarchy{
 		l1:          New(cfg.L1, cfg.PageBytes),
 		l2:          New(cfg.L2, cfg.PageBytes),
@@ -145,10 +145,10 @@ func (h *Hierarchy) Access(addr uint64, write bool, fill FillFunc) Outcome {
 
 	st := fill(l2Line, write)
 	if write && st != Modified {
-		panic("cache: fill granted a write in non-Modified state " + st.String())
+		assert.Failf("cache: fill granted a write in non-Modified state %s", st)
 	}
 	if st == Invalid {
-		panic("cache: fill granted Invalid state")
+		assert.Failf("cache: fill granted Invalid state")
 	}
 	if ev, ok := h.l2.Insert(l2Line, st); ok {
 		h.evictL2(ev, &out)
@@ -168,7 +168,7 @@ func (h *Hierarchy) storeTo(st State, l1Line, l2Line uint64, out *Outcome) {
 	case Exclusive, Modified:
 		// Silent E→M / already M.
 	case Invalid:
-		panic("cache: store hit reported on Invalid line")
+		assert.Failf("cache: store hit reported on Invalid line")
 	}
 	if _, ok := h.l2.Lookup(l2Line); ok {
 		h.l2.SetState(l2Line, Modified)

@@ -1,0 +1,71 @@
+package campaign
+
+// Race-exercising tests for the Runner's worker pool. Run with -race: the
+// record closure's mutex must cover every result-map write, and the worker
+// count must not change what a campaign produces.
+
+import (
+	"reflect"
+	"testing"
+
+	"scaltool/internal/apps"
+)
+
+func runCampaign(t *testing.T, workers int) *Result {
+	t.Helper()
+	app, err := apps.ByName("hydro2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(app, cfg(), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := &Runner{Cfg: cfg(), Workers: workers}
+	res, err := rn.Run(app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRunWorkerPoolRace drives the pool with more workers than jobs so
+// every job runs concurrently; the race detector checks the record path.
+func TestRunWorkerPoolRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign run is slow")
+	}
+	runCampaign(t, 32)
+}
+
+// TestRunDeterministicAcrossWorkerCounts compares a serial campaign
+// against a maximally concurrent one, key by key.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign run is slow")
+	}
+	serial := runCampaign(t, 1)
+	parallel := runCampaign(t, 16)
+
+	if len(serial.BaseRuns) != len(parallel.BaseRuns) {
+		t.Fatalf("BaseRuns: %d vs %d entries", len(serial.BaseRuns), len(parallel.BaseRuns))
+	}
+	for n, want := range serial.BaseRuns {
+		got := parallel.BaseRuns[n]
+		if got == nil || !reflect.DeepEqual(got.Report, want.Report) {
+			t.Errorf("BaseRuns[%d] differs between worker counts", n)
+		}
+	}
+	for size, want := range serial.UniRuns {
+		got := parallel.UniRuns[size]
+		if got == nil || !reflect.DeepEqual(got.Report, want.Report) {
+			t.Errorf("UniRuns[%d] differs between worker counts", size)
+		}
+	}
+	for n, want := range serial.SyncKernels {
+		got := parallel.SyncKernels[n]
+		if got == nil || !reflect.DeepEqual(got.Report, want.Report) {
+			t.Errorf("SyncKernels[%d] differs between worker counts", n)
+		}
+	}
+}

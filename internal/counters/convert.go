@@ -1,0 +1,19 @@
+package counters
+
+import "scaltool/internal/assert"
+
+// MaxExact is the largest counter value float64 represents exactly (2^53).
+// Event counters beyond it would silently lose precision in the model's
+// least-squares fits — exactly the class of bug the scalvet counterconv
+// analyzer exists to catch.
+const MaxExact = uint64(1) << 53
+
+// ToFloat converts a counter value to float64, panicking if the value is
+// too large to represent exactly. It is the allowlisted conversion helper
+// the counterconv analyzer steers counter arithmetic through.
+func ToFloat(v uint64) float64 {
+	if v > MaxExact {
+		assert.Failf("counters: value %d exceeds float64's exact integer range (2^53)", v)
+	}
+	return float64(v)
+}

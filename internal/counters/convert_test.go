@@ -1,0 +1,21 @@
+package counters
+
+import "testing"
+
+func TestToFloatExactRange(t *testing.T) {
+	cases := []uint64{0, 1, 1 << 20, MaxExact - 1, MaxExact}
+	for _, v := range cases {
+		if got := ToFloat(v); got != float64(v) {
+			t.Errorf("ToFloat(%d) = %g", v, got)
+		}
+	}
+}
+
+func TestToFloatOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ToFloat(2^53+1) did not panic")
+		}
+	}()
+	ToFloat(MaxExact + 1)
+}

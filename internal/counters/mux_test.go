@@ -1,0 +1,52 @@
+package counters
+
+// Complements the Multiplex tests in counters_test.go with the edge cases
+// those leave open: exact behaviour at the 2^53 float64 precision boundary,
+// the RelError=0 identity, and cross-call reproducibility of whole-report
+// multiplexing.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultiplexZeroRelErrorIsIdentity(t *testing.T) {
+	truth := sampleSet()
+	if got := Multiplex(truth, MuxOptions{RelError: 0, Seed: 7}); got != truth {
+		t.Errorf("RelError 0 perturbed the set:\n%v\n%v", got, truth)
+	}
+}
+
+// TestMultiplexNearMaxExact checks behaviour at the 2^53 boundary the rest
+// of the repo guards with counters.ToFloat: the perturbation math goes
+// through float64, so values near MaxExact must stay within the
+// relative-error bound instead of collapsing or going negative, and the
+// exact timing pair must survive even past the boundary.
+func TestMultiplexNearMaxExact(t *testing.T) {
+	var truth Set
+	truth[Cycles] = MaxExact + 12345 // exact path: never converted
+	truth[L2Misses] = MaxExact - 1
+	const relErr = 0.02
+	got := Multiplex(truth, MuxOptions{RelError: relErr, Seed: 99})
+	if got[Cycles] != truth[Cycles] {
+		t.Errorf("Cycles past 2^53 not exact: %d vs %d", got[Cycles], truth[Cycles])
+	}
+	rel := math.Abs(float64(got[L2Misses])-float64(truth[L2Misses])) / float64(truth[L2Misses])
+	if rel > relErr+1e-9 {
+		t.Errorf("L2Misses near 2^53: rel error %g exceeds %g", rel, relErr)
+	}
+}
+
+func TestMultiplexReportReproducible(t *testing.T) {
+	r := sampleReport()
+	a := MultiplexReport(r, DefaultMux(5))
+	b := MultiplexReport(r, DefaultMux(5))
+	for p := range a.PerProc {
+		if a.PerProc[p] != b.PerProc[p] {
+			t.Errorf("PerProc[%d] not deterministic across calls", p)
+		}
+	}
+	if c := MultiplexReport(r, DefaultMux(6)); c.PerProc[0] == a.PerProc[0] {
+		t.Error("different report seeds produced identical jitter")
+	}
+}

@@ -196,7 +196,7 @@ func (s *Suite) AblationProtocol() string {
 		pe := illinois.model.Points[i]
 		mpe := msiModel.Points[i]
 		mbp := msiBps[i]
-		tb.Row(bp.Procs, int(pe.Meas.NtSync), int(mpe.Meas.NtSync),
+		tb.Row(bp.Procs, pe.Meas.NtSync, mpe.Meas.NtSync,
 			pct(bp.Sync, bp.Base), pct(mbp.Sync, mbp.Base),
 			pct(bp.MP()-illMeasured[bp.Procs], bp.Base),
 			pct(mbp.MP()-msiMeasured[mbp.Procs], mbp.Base))

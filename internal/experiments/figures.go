@@ -171,7 +171,7 @@ func breakdownAt(a *appAnalysis, procs int) model.BreakdownPoint {
 }
 
 func pct(part, whole float64) float64 {
-	if whole == 0 {
+	if !(whole > 0) { // cycle totals are nonnegative; also rejects NaN
 		return 0
 	}
 	return 100 * part / whole

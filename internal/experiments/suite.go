@@ -180,7 +180,7 @@ func balanceMetric(res *sim.Result) float64 {
 			max = b
 		}
 	}
-	if sum == 0 {
+	if !(sum > 0) { // busy-cycle sums are nonnegative; also rejects NaN
 		return 0
 	}
 	return max / (sum / float64(len(res.Ground.PerProcBusy)))

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"scaltool/internal/apps"
+	"scaltool/internal/counters"
 	"scaltool/internal/sim"
 	"scaltool/internal/table"
 	"scaltool/internal/whatif"
@@ -60,7 +61,7 @@ func (s *Suite) Sec26() string {
 		if err != nil {
 			panic(err)
 		}
-		actual := float64(res.Report.TotalCycles())
+		actual := counters.ToFloat(res.Report.TotalCycles())
 		tb.Row(p.Procs, p.NewCycles, actual, p.NewCycles/actual)
 	}
 	b.WriteString(tb.String())

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+
+	"scaltool/internal/assert"
 )
 
 // Placement selects the page-placement policy.
@@ -56,7 +58,7 @@ func (r Region) End() uint64 { return r.Base + r.Size }
 // bug in the app, not a runtime condition.
 func (r Region) Addr(off uint64) uint64 {
 	if off >= r.Size {
-		panic(fmt.Sprintf("memdsm: offset %d out of region %q (size %d)", off, r.Name, r.Size))
+		assert.Failf("memdsm: offset %d out of region %q (size %d)", off, r.Name, r.Size)
 	}
 	return r.Base + off
 }
@@ -146,7 +148,7 @@ func (m *Memory) PageOf(addr uint64) uint64 { return addr >> m.pageShift }
 // processor (used by FirstTouch).
 func (m *Memory) HomeOf(addr uint64, toucher int) int {
 	if toucher < 0 || toucher >= m.procs {
-		panic(fmt.Sprintf("memdsm: toucher %d out of range [0,%d)", toucher, m.procs))
+		assert.Failf("memdsm: toucher %d out of range [0,%d)", toucher, m.procs)
 	}
 	page := m.PageOf(addr)
 	for uint64(len(m.homes)) <= page {
@@ -164,7 +166,7 @@ func (m *Memory) HomeOf(addr uint64, toucher int) int {
 	case AllOnZero:
 		home = 0
 	default:
-		panic("memdsm: unknown placement policy")
+		assert.Unreachable("memdsm: unknown placement policy")
 	}
 	m.homes[page] = int16(home)
 	m.touched++

@@ -1,6 +1,6 @@
 package memdsm
 
-import "fmt"
+import "scaltool/internal/assert"
 
 // TLB models one processor's translation lookaside buffer: fully
 // associative over page numbers with LRU replacement (the R10000's 64-entry
@@ -19,9 +19,7 @@ type TLB struct {
 // NewTLB creates a TLB with the given entry count (0 disables: every access
 // hits).
 func NewTLB(entries int) *TLB {
-	if entries < 0 {
-		panic(fmt.Sprintf("memdsm: negative TLB entries %d", entries))
-	}
+	assert.True(entries >= 0, "memdsm: negative TLB entries %d", entries)
 	return &TLB{entries: entries}
 }
 

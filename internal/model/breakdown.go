@@ -1,5 +1,7 @@
 package model
 
+import "scaltool/internal/counters"
+
 // BreakdownPoint is one processor count of the Figure 6/9/12 charts. All
 // quantities are cycles accumulated over every processor of the run ("the
 // curves accumulate the cycles from all the processors", §4.1).
@@ -31,10 +33,10 @@ func (b BreakdownPoint) MP() float64 { return b.Sync + b.Imb }
 func (m *Model) Breakdown() []BreakdownPoint {
 	out := make([]BreakdownPoint, 0, len(m.Points))
 	for _, pe := range m.Points {
-		inst := float64(pe.Meas.Instr)
+		inst := counters.ToFloat(pe.Meas.Instr)
 		bp := BreakdownPoint{
 			Procs: pe.Procs,
-			Base:  float64(pe.Meas.Cycles),
+			Base:  counters.ToFloat(pe.Meas.Cycles),
 			NoL2:  pe.CPIInf * inst,
 			Sync:  pe.CpiSync * pe.FracSync * inst,
 			Imb:   m.CpiImb * pe.FracImb * inst,
@@ -58,11 +60,11 @@ func (m *Model) Speedups() []SpeedupPoint {
 	var wall1 float64
 	for _, pe := range m.Points {
 		if pe.Procs == 1 {
-			wall1 = float64(pe.Meas.Wall)
+			wall1 = counters.ToFloat(pe.Meas.Wall)
 		}
 	}
 	for _, pe := range m.Points {
-		sp := SpeedupPoint{Procs: pe.Procs, Wall: float64(pe.Meas.Wall)}
+		sp := SpeedupPoint{Procs: pe.Procs, Wall: counters.ToFloat(pe.Meas.Wall)}
 		if sp.Wall > 0 && wall1 > 0 {
 			sp.Speedup = wall1 / sp.Wall
 		}

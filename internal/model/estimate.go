@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"scaltool/internal/counters"
 	"scaltool/internal/stats"
 )
 
@@ -79,7 +80,7 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 	// Uniprocessor curves vs data-set size (Fig. 3a and the s0/n rules).
 	var hitPts, l1Pts, mPts []stats.Point
 	for _, u := range uni {
-		x := float64(u.DataBytes)
+		x := counters.ToFloat(u.DataBytes)
 		hitPts = append(hitPts, stats.Point{X: x, Y: u.L2HitRate})
 		l1Pts = append(l1Pts, stats.Point{X: x, Y: u.L1HitRate})
 		mPts = append(mPts, stats.Point{X: x, Y: u.MemFrac})
@@ -106,12 +107,12 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 	if k1, ok := in.SyncKernel[1]; ok && k1.Barriers > 0 && k1.Instr > 0 {
 		guess := small.CPI
 		for i := 0; i < 2; i++ {
-			ts := (float64(k1.Cycles) - guess*float64(k1.Instr)) / float64(k1.Barriers)
+			ts := (counters.ToFloat(k1.Cycles) - guess*counters.ToFloat(k1.Instr)) / counters.ToFloat(k1.Barriers)
 			if ts < 0 {
 				ts = 0
 			}
 			m.TSync1 = ts
-			if c := (float64(small.Cycles) - float64(small.Barriers)*ts) / float64(small.Instr); c > 0 {
+			if c := (counters.ToFloat(small.Cycles) - counters.ToFloat(small.Barriers)*ts) / counters.ToFloat(small.Instr); c > 0 {
 				guess = c
 			}
 		}
@@ -121,7 +122,7 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 		if u.Instr == 0 {
 			return u.CPI
 		}
-		c := (float64(u.Cycles) - float64(u.Barriers)*m.TSync1) / float64(u.Instr)
+		c := (counters.ToFloat(u.Cycles) - counters.ToFloat(u.Barriers)*m.TSync1) / counters.ToFloat(u.Instr)
 		if c <= 0 {
 			return u.CPI
 		}
@@ -173,7 +174,7 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 				num += x(u) * y(u)
 				den += x(u) * x(u)
 			}
-			if den == 0 {
+			if !(den > 0) { // den is a sum of squares; also rejects NaN
 				return 0
 			}
 			return num / den
@@ -262,9 +263,9 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 		// tsync: per-processor kernel cycles beyond the base instruction
 		// cost, per barrier (§2.4.2, "proceeding like we did to calculate
 		// tm").
-		perProcCycles := float64(k.Cycles) / float64(k.Procs)
-		perProcInstr := float64(k.Instr) / float64(k.Procs)
-		ts := (perProcCycles - m.CPI0*perProcInstr) / float64(k.Barriers)
+		perProcCycles := counters.ToFloat(k.Cycles) / float64(k.Procs)
+		perProcInstr := counters.ToFloat(k.Instr) / float64(k.Procs)
+		ts := (perProcCycles - m.CPI0*perProcInstr) / counters.ToFloat(k.Barriers)
 		if ts < 0 {
 			ts = 0
 		}
@@ -315,9 +316,9 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 		if b.Procs > 1 {
 			// Eq. 10: ostsync = ntsync · (cpi0 + tsync); then
 			// frac_sync = ostsync / (cpi_sync · instructions).
-			ostsync := float64(b.NtSync) * (m.CPI0 + pe.TSync)
+			ostsync := counters.ToFloat(b.NtSync) * (m.CPI0 + pe.TSync)
 			if pe.CpiSync > 0 && b.Instr > 0 {
-				pe.FracSync = stats.Clamp(ostsync/(pe.CpiSync*float64(b.Instr)), 0, 0.95)
+				pe.FracSync = stats.Clamp(ostsync/(pe.CpiSync*counters.ToFloat(b.Instr)), 0, 0.95)
 			}
 		}
 
@@ -360,9 +361,9 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 		// then satisfy Eq. 9. A grid scan over frac_imb picks the most
 		// consistent pair — robust where a fixed-point iteration
 		// oscillates (Eq. 9 is not monotone in frac_imb once tm reacts).
-		instr := float64(b.Instr)
+		instr := counters.ToFloat(b.Instr)
 		syncCycles := pe.CpiSync * pe.FracSync * instr
-		barrierMisses := float64(b.Barriers) * float64(b.Procs)
+		barrierMisses := counters.ToFloat(b.Barriers) * float64(b.Procs)
 		cleanL2 := b.Hm*instr - barrierMisses
 		cleanL1L2 := b.H2 * instr // the L1-miss/L2-hit count is sync-free
 		tmOf := func(fi float64) float64 {
@@ -370,7 +371,7 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 				return rawTm
 			}
 			cleanInstr := (1 - pe.FracSync - fi) * instr
-			cleanCycles := float64(b.Cycles) - syncCycles - m.CpiImb*fi*instr
+			cleanCycles := counters.ToFloat(b.Cycles) - syncCycles - m.CpiImb*fi*instr
 			if cleanInstr <= 0 || cleanCycles <= 0 {
 				return m.Tm1
 			}

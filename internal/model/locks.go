@@ -1,6 +1,10 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+
+	"scaltool/internal/counters"
+)
 
 // Lock-aware synchronization estimation — the §2.4.2 footnote: "If the
 // application has locks, we need to separately compute the cpi_sync of a
@@ -39,9 +43,9 @@ func FitLockCosts(kernels map[int]Measurement, cpi0 float64) (map[int]LockCost, 
 		// Subtract the barrier overhead of the kernel's own regions first
 		// (each region still ends in a barrier), then attribute the rest
 		// to the locks.
-		perProcCycles := float64(k.Cycles) / float64(k.Procs)
-		perProcInstr := float64(k.Instr) / float64(k.Procs)
-		perProcLocks := float64(k.Locks) / float64(k.Procs)
+		perProcCycles := counters.ToFloat(k.Cycles) / float64(k.Procs)
+		perProcInstr := counters.ToFloat(k.Instr) / float64(k.Procs)
+		perProcLocks := counters.ToFloat(k.Locks) / float64(k.Procs)
 		tl := (perProcCycles - cpi0*perProcInstr) / perProcLocks
 		if tl < 0 {
 			tl = 0
@@ -64,7 +68,7 @@ func (m *Model) InstrumentedSyncCycles(procs int, locks map[int]LockCost) (float
 		return 0, true
 	}
 	b := pe.Meas
-	ost := float64(b.Barriers) * float64(procs) * (m.CPI0 + pe.TSync)
+	ost := counters.ToFloat(b.Barriers) * float64(procs) * (m.CPI0 + pe.TSync)
 	if b.Locks > 0 {
 		tl := pe.TSync // fallback: price a lock like a barrier participation
 		if lc, ok := locks[procs]; ok {
@@ -83,7 +87,7 @@ func (m *Model) InstrumentedSyncCycles(procs int, locks map[int]LockCost) (float
 			}
 			tl = best.TLock
 		}
-		ost += float64(b.Locks) * (m.CPI0 + tl)
+		ost += counters.ToFloat(b.Locks) * (m.CPI0 + tl)
 	}
 	return ost, true
 }

@@ -1,5 +1,7 @@
 package model
 
+import "scaltool/internal/counters"
+
 // This file implements two things the paper describes but does not fully
 // develop:
 //
@@ -32,9 +34,9 @@ func (m *Model) FracSyncFromBarriers(procs int) (float64, bool) {
 	}
 	// Every processor participates in every barrier; each lock
 	// acquire/release pair costs about the same fetchop round trip.
-	events := float64(pe.Meas.Barriers)*float64(procs) + float64(pe.Meas.Locks)
+	events := counters.ToFloat(pe.Meas.Barriers)*float64(procs) + counters.ToFloat(pe.Meas.Locks)
 	ost := events * (m.CPI0 + pe.TSync)
-	f := ost / (pe.CpiSync * float64(pe.Meas.Instr))
+	f := ost / (pe.CpiSync * counters.ToFloat(pe.Meas.Instr))
 	if f < 0 {
 		f = 0
 	}
@@ -83,9 +85,9 @@ func (m *Model) Sharing(procs int) (SharingEstimate, bool) {
 	if procs == 1 {
 		return est, true
 	}
-	l1Misses := (b.H2 + b.Hm) * float64(b.Instr)
+	l1Misses := (b.H2 + b.Hm) * counters.ToFloat(b.Instr)
 	est.CoherenceMisses = pe.Coh * l1Misses
-	est.SyncInduced = float64(b.Barriers) * float64(procs)
+	est.SyncInduced = counters.ToFloat(b.Barriers) * float64(procs)
 	est.DataMisses = est.CoherenceMisses - est.SyncInduced
 	if est.DataMisses < 0 {
 		est.DataMisses = 0

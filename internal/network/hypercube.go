@@ -13,6 +13,8 @@ package network
 import (
 	"fmt"
 	"math/bits"
+
+	"scaltool/internal/assert"
 )
 
 // Topology is an immutable description of a bristled hypercube connecting a
@@ -107,6 +109,6 @@ func (t *Topology) MeanHops() float64 {
 
 func (t *Topology) check(proc int) {
 	if proc < 0 || proc >= t.procs {
-		panic(fmt.Sprintf("network: processor %d out of range [0,%d)", proc, t.procs))
+		assert.Failf("network: processor %d out of range [0,%d)", proc, t.procs)
 	}
 }

