@@ -10,15 +10,23 @@
 // Common flags: -procs (power of two, default 32), -machine scaled|origin,
 // -s0 (base data-set bytes, 0 = the app default), -raw-tm (paper-faithful
 // single-pass tm(n)), -csv (machine-readable tables).
+//
+// Robustness flags (see README's Robustness section): -max-retries and
+// -run-timeout set the retry budget and per-attempt deadline of every run,
+// -fault-spec injects deterministic faults for chaos drills, -health-json
+// writes the machine-readable health report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"scaltool/internal/apps"
 	"scaltool/internal/campaign"
+	"scaltool/internal/faultinject"
+	"scaltool/internal/health"
 	"scaltool/internal/machine"
 	"scaltool/internal/model"
 	"scaltool/internal/perftools"
@@ -76,28 +84,82 @@ run 'scaltool <command> -h' for flags.
 
 // common flags shared by the run-based subcommands.
 type common struct {
-	fs      *flag.FlagSet
-	app     *string
-	procs   *int
-	s0      *uint64
-	mach    *string
-	rawTm   *bool
-	csv     *bool
-	workers *int
+	fs         *flag.FlagSet
+	app        *string
+	procs      *int
+	s0         *uint64
+	mach       *string
+	rawTm      *bool
+	csv        *bool
+	workers    *int
+	faultSpec  *string
+	maxRetries *int
+	runTimeout *time.Duration
+	healthJSON *string
 }
 
 func commonFlags(name string) *common {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	return &common{
-		fs:      fs,
-		app:     fs.String("app", "swim", "application (see 'scaltool apps')"),
-		procs:   fs.Int("procs", 32, "largest processor count (power of two)"),
-		s0:      fs.Uint64("s0", 0, "base data-set bytes (0 = application default)"),
-		mach:    fs.String("machine", "scaled", "machine: scaled | origin"),
-		rawTm:   fs.Bool("raw-tm", false, "paper-faithful single-pass tm(n) (no MP decontamination)"),
-		csv:     fs.Bool("csv", false, "emit CSV instead of aligned tables"),
-		workers: fs.Int("workers", 0, "concurrent simulated runs (0 = GOMAXPROCS)"),
+		fs:         fs,
+		app:        fs.String("app", "swim", "application (see 'scaltool apps')"),
+		procs:      fs.Int("procs", 32, "largest processor count (power of two)"),
+		s0:         fs.Uint64("s0", 0, "base data-set bytes (0 = application default)"),
+		mach:       fs.String("machine", "scaled", "machine: scaled | origin"),
+		rawTm:      fs.Bool("raw-tm", false, "paper-faithful single-pass tm(n) (no MP decontamination)"),
+		csv:        fs.Bool("csv", false, "emit CSV instead of aligned tables"),
+		workers:    fs.Int("workers", 0, "concurrent simulated runs (0 = GOMAXPROCS)"),
+		faultSpec:  fs.String("fault-spec", "", "fault-injection spec, e.g. seed=42,noise=0.02,transient=0.1 (chaos drills)"),
+		maxRetries: fs.Int("max-retries", 2, "retries per run after a transient failure or blown deadline"),
+		runTimeout: fs.Duration("run-timeout", 0, "per-attempt run deadline (0 = none)"),
+		healthJSON: fs.String("health-json", "", "write the machine-readable health report to this file"),
 	}
+}
+
+// runner builds the fault-tolerant campaign runner the flags describe.
+func (c *common) runner(cfg machine.Config) (*campaign.Runner, error) {
+	rn := &campaign.Runner{
+		Cfg: cfg, Workers: *c.workers,
+		MaxRetries: *c.maxRetries,
+		RetryBase:  100 * time.Millisecond,
+		RunTimeout: *c.runTimeout,
+	}
+	spec, err := faultinject.ParseSpec(*c.faultSpec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Active() {
+		rn.Inject = faultinject.New(spec)
+		// A hang fault with no deadline would be degraded to a transient
+		// failure; give injected hangs a real deadline to be reaped by.
+		if rn.RunTimeout == 0 && (spec.Hang > 0 || len(spec.StallRuns) > 0) {
+			rn.RunTimeout = 30 * time.Second
+		}
+	}
+	return rn, nil
+}
+
+// reportHealth prints the campaign health summary and, with -health-json,
+// writes the full machine-readable report.
+func (c *common) reportHealth(hr *health.Report) error {
+	if hr == nil {
+		return nil
+	}
+	if !hr.Clean() {
+		fmt.Println(hr.Summary())
+	}
+	if *c.healthJSON == "" {
+		return nil
+	}
+	f, err := os.Create(*c.healthJSON)
+	if err != nil {
+		return fmt.Errorf("health report: %w", err)
+	}
+	defer f.Close()
+	if err := hr.WriteJSON(f); err != nil {
+		return fmt.Errorf("health report: %w", err)
+	}
+	return nil
 }
 
 func (c *common) machine() (machine.Config, error) {
@@ -177,7 +239,10 @@ func fitFor(c *common) (*campaign.Result, *model.Model, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rn := &campaign.Runner{Cfg: cfg, Workers: *c.workers}
+	rn, err := c.runner(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	res, err := rn.Run(app, plan)
 	if err != nil {
 		return nil, nil, err
@@ -185,7 +250,10 @@ func fitFor(c *common) (*campaign.Result, *model.Model, error) {
 	opts := model.DefaultOptions(cfg.L2.SizeBytes)
 	opts.RawTmN = *c.rawTm
 	m, err := res.Fit(opts)
-	return res, m, err
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, m, c.reportHealth(res.Health)
 }
 
 func cmdAnalyze(args []string) error {
@@ -196,6 +264,9 @@ func cmdAnalyze(args []string) error {
 	res, m, err := fitFor(c)
 	if err != nil {
 		return err
+	}
+	if m.Degradation.Degraded {
+		fmt.Println(m.Degradation.Summary())
 	}
 	fmt.Printf("model: cpi0=%.3f (initial %.3f)  t2=%.1f  tm(1)=%.1f  compulsory=%.4f  cpi_imb=%.2f\n",
 		m.CPI0, m.CPI0Initial, m.T2, m.Tm1, m.Compulsory, m.CpiImb)
@@ -240,7 +311,10 @@ func cmdMeasure(args []string) error {
 	if err != nil {
 		return err
 	}
-	rn := &campaign.Runner{Cfg: cfg, Workers: *c.workers}
+	rn, err := c.runner(cfg)
+	if err != nil {
+		return err
+	}
 	res, err := rn.Run(app, plan)
 	if err != nil {
 		return err
@@ -251,7 +325,7 @@ func cmdMeasure(args []string) error {
 	}
 	fmt.Printf("%d report files written to %s (plan: %d runs; kernels shared per machine)\n",
 		nFiles, *out, plan.Cost().Runs)
-	return nil
+	return c.reportHealth(res.Health)
 }
 
 // cmdFit fits the model from report files alone — the analysis half, which
@@ -268,9 +342,15 @@ func cmdFit(args []string) error {
 	}
 	opts := model.DefaultOptions(cfg.L2.SizeBytes)
 	opts.RawTmN = *c.rawTm
-	m, err := campaign.FitDir(*dir, opts)
+	m, hr, err := campaign.FitDirTolerant(*dir, opts)
 	if err != nil {
 		return err
+	}
+	if err := c.reportHealth(hr); err != nil {
+		return err
+	}
+	if m.Degradation.Degraded {
+		fmt.Println(m.Degradation.Summary())
 	}
 	fmt.Printf("model: cpi0=%.3f  t2=%.1f  tm(1)=%.1f  compulsory=%.4f\n\n", m.CPI0, m.T2, m.Tm1, m.Compulsory)
 	tb := table.New("Scalability bottlenecks (cycles accumulated over processors)",

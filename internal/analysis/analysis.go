@@ -15,6 +15,7 @@
 //   - sharedmut:    goroutine literals writing shared state unguarded
 //   - panicmsg:     the "pkg: message" panic/assert message convention
 //   - exhauststate: non-exhaustive switches over coherence/placement enums
+//   - ctxgo:        campaign/sim goroutines launched without a context
 //
 // A diagnostic on a given line is suppressed by a trailing
 // "//scalvet:ignore reason" comment on the same line or by one on its own
@@ -78,7 +79,7 @@ func (a *Analyzer) appliesTo(pkgPath string) bool {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, CounterConv, LoopCapture, SharedMut, PanicMsg, ExhaustState}
+	return []*Analyzer{FloatCmp, CounterConv, LoopCapture, SharedMut, PanicMsg, ExhaustState, CtxGo}
 }
 
 // Pass carries one analyzer's run over one package.

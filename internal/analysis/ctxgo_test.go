@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestCtxGo(t *testing.T) { testFixture(t, CtxGo, "ctxgo") }
+
+func TestCtxGoAppliesOnlyToWorkerPools(t *testing.T) {
+	if !CtxGo.appliesTo("scaltool/internal/campaign") || !CtxGo.appliesTo("scaltool/internal/sim") {
+		t.Error("ctxgo must cover the campaign and sim worker pools")
+	}
+	if CtxGo.appliesTo("scaltool/internal/model") {
+		t.Error("ctxgo must not apply outside the worker-pool packages")
+	}
+}

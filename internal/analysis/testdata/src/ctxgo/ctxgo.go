@@ -1,0 +1,54 @@
+// Fixture for the ctxgo analyzer.
+package ctxgo
+
+import (
+	"context"
+	"sync"
+)
+
+type job struct{ id int }
+
+func work(ctx context.Context, j job) {}
+
+func plain(j job) {}
+
+type pool struct {
+	ctx context.Context
+	wg  sync.WaitGroup
+}
+
+func (p *pool) step(j job) {}
+
+func flagged(jobs []job) {
+	for _, j := range jobs {
+		go plain(j) // want "goroutine launched without a context"
+	}
+	go func() { // want "goroutine launched without a context"
+		plain(job{})
+	}()
+	var p pool
+	go p.step(job{}) // want "goroutine launched without a context"
+}
+
+func clean(ctx context.Context, jobs []job) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		// Context passed as an argument.
+		go func(ctx context.Context, j job) {
+			defer wg.Done()
+			work(ctx, j)
+		}(ctx, j)
+	}
+	// Context referenced from the literal's body.
+	go func() {
+		<-ctx.Done()
+	}()
+	// Context reaching the worker through a field.
+	p := &pool{ctx: ctx}
+	go func() {
+		<-p.ctx.Done()
+		p.step(job{})
+	}()
+	wg.Wait()
+}

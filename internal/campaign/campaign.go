@@ -14,12 +14,17 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"scaltool/internal/apps"
+	"scaltool/internal/faultinject"
+	"scaltool/internal/health"
 	"scaltool/internal/machine"
 	"scaltool/internal/model"
 	"scaltool/internal/perftools"
@@ -115,6 +120,11 @@ type Result struct {
 	// Skipped lists uniprocessor sizes the application could not be built
 	// at (too small for its grid); the model interpolates across them.
 	Skipped []uint64
+
+	// Health records everything the fault-tolerance layer did — repairs,
+	// retries, quarantines, permanent failures. Never nil on a Result
+	// returned by Execute/Run.
+	Health *health.Report
 }
 
 // Inputs assembles the model's input set from the campaign measurements.
@@ -137,7 +147,27 @@ func (r *Result) Inputs() (model.Inputs, error) {
 		return in, err
 	}
 	in.SpinCPI = spin
+	r.addExpectations(&in)
 	return in, nil
+}
+
+// addExpectations tells the model what the plan intended to measure, so the
+// fit can report how degraded the achieved input set is. Sizes the
+// application's grid could not realize (Skipped) are not expectations.
+func (r *Result) addExpectations(in *model.Inputs) {
+	in.ExpectedProcs = append([]int(nil), r.Plan.ProcCounts...)
+	skipped := make(map[uint64]bool, len(r.Skipped))
+	for _, s := range r.Skipped {
+		skipped[s] = true
+	}
+	for _, s := range append([]uint64{r.Plan.S0}, r.Plan.UniSizes...) {
+		if !skipped[s] {
+			in.ExpectedUniSizes = append(in.ExpectedUniSizes, s)
+		}
+	}
+	if r.Health != nil {
+		in.DroppedRuns = r.Health.DroppedRuns()
+	}
 }
 
 // Fit runs the model on the campaign's measurements.
@@ -170,20 +200,73 @@ type Runner struct {
 	// SpinKernelProcs selects the spin-kernel processor count (0 = the
 	// plan's largest).
 	SpinKernelProcs int
+
+	// MaxRetries bounds how many times one run is re-attempted after a
+	// retryable failure (a transient fault or a blown per-attempt
+	// deadline). 0 means a run gets exactly one attempt.
+	MaxRetries int
+	// RetryBase is the first retry's backoff; the wait doubles per attempt
+	// and carries a deterministic ±25% per-run jitter so simultaneous
+	// retries de-synchronize while a rerun reproduces the same trace.
+	// 0 retries immediately.
+	RetryBase time.Duration
+	// RunTimeout is the per-attempt deadline (0 = none). A hung run is
+	// reaped when the deadline expires and the attempt counts as retryable.
+	RunTimeout time.Duration
+	// Inject, when non-nil, perturbs the campaign with deterministic
+	// faults — the chaos-test hook. Production campaigns leave it nil.
+	Inject *faultinject.Injector
 }
+
+// Job kinds, in plan order.
+const (
+	jobBase = iota // application at s0, one run per processor count
+	jobUni         // uniprocessor application at a fractional size
+	jobSync        // barrier-loop estimation kernel
+	jobSpin        // idle-spin estimation kernel
+)
+
+var kindNames = [...]string{jobBase: "base", jobUni: "uni", jobSync: "ksync", jobSpin: "kspin"}
 
 type job struct {
+	kind  int
 	procs int
-	size  uint64
-	kind  int // 0 base, 1 uni, 2 syncKernel
+	size  uint64 // requested data-set size (0 for the kernels)
+	id    string
 }
 
-// Run executes the plan for an application. Independent runs execute
-// concurrently on a worker pool; results are deterministic regardless of
-// worker count.
+// RunID is the campaign-wide identity of one run, e.g. "base_p04_s1048576":
+// kind ("base", "uni", "ksync", "kspin"), processor count, and requested
+// data-set size (0 for the estimation kernels). Fault specs, the health
+// report, and the report file names (with a ".json" suffix, using the
+// achieved size) all refer to runs this way.
+func RunID(kind string, procs int, size uint64) string {
+	return fmt.Sprintf("%s_p%02d_s%d", kind, procs, size)
+}
+
+// Run executes the plan with no cancellation: Execute under a background
+// context. Retry, deadline, and injection policy still apply if set.
 func (rn *Runner) Run(app apps.App, plan Plan) (*Result, error) {
+	return rn.Execute(context.Background(), app, plan)
+}
+
+// Execute runs the plan for an application on a worker pool. Results are
+// deterministic regardless of worker count, including under fault injection.
+//
+// Execute is the fault-tolerant path: failed attempts are retried with
+// exponential backoff (MaxRetries, RetryBase), each attempt runs under
+// RunTimeout, and every accepted report passes health.Sanitize. A run that
+// stays broken is dropped and recorded in Result.Health rather than killing
+// the campaign — unless the model cannot fit without it (the uniprocessor
+// base run, the spin kernel), in which case the remaining workers are
+// canceled promptly and Execute returns the critical failure. Canceling ctx
+// stops the campaign the same way.
+func (rn *Runner) Execute(ctx context.Context, app apps.App, plan Plan) (*Result, error) {
 	if err := rn.Cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if len(plan.ProcCounts) == 0 {
+		return nil, fmt.Errorf("campaign: plan has no processor counts")
 	}
 	res := &Result{
 		Plan:        plan,
@@ -191,83 +274,10 @@ func (rn *Runner) Run(app apps.App, plan Plan) (*Result, error) {
 		BaseRuns:    map[int]*sim.Result{},
 		UniRuns:     map[uint64]*sim.Result{},
 		SyncKernels: map[int]*sim.Result{},
+		Health:      health.NewReport(),
 	}
+	res.Health.Add(health.CheckStructure(plan.ProcCounts, append([]uint64{plan.S0}, plan.UniSizes...))...)
 
-	var jobs []job
-	for _, n := range plan.ProcCounts {
-		jobs = append(jobs, job{procs: n, size: plan.S0, kind: 0})
-		jobs = append(jobs, job{procs: n, kind: 2})
-	}
-	for _, s := range plan.UniSizes {
-		jobs = append(jobs, job{procs: 1, size: s, kind: 1})
-	}
-
-	workers := rn.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	sem := make(chan struct{}, workers)
-	record := func(j job, out *sim.Result, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			// A size too small for the app's grid is an expected skip for
-			// uniprocessor fractions; anything else is fatal.
-			if j.kind == 1 {
-				res.Skipped = append(res.Skipped, j.size)
-				return
-			}
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
-		switch j.kind {
-		case 0:
-			res.BaseRuns[j.procs] = out
-			if j.procs == 1 {
-				res.UniRuns[out.DataBytes] = out // the s0 uniproc run doubles as a curve point
-			}
-		case 1:
-			res.UniRuns[out.DataBytes] = out
-		case 2:
-			res.SyncKernels[j.procs] = out
-		}
-	}
-	for _, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			var prog *sim.Program
-			var err error
-			switch j.kind {
-			case 0, 1:
-				prog, err = app.Build(rn.Cfg, j.procs, j.size)
-			case 2:
-				prog, err = apps.BuildSyncKernel(rn.Cfg, j.procs, apps.SyncKernelBarriers)
-			}
-			if err != nil {
-				record(j, nil, err)
-				return
-			}
-			out, err := sim.Run(rn.Cfg, prog)
-			record(j, out, err)
-		}(j)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	sort.Slice(res.Skipped, func(i, k int) bool { return res.Skipped[i] < res.Skipped[k] })
-
-	// The idle-spin kernel (cpi_imb).
 	spinProcs := rn.SpinKernelProcs
 	if spinProcs == 0 {
 		spinProcs = plan.ProcCounts[len(plan.ProcCounts)-1]
@@ -275,17 +285,254 @@ func (rn *Runner) Run(app apps.App, plan Plan) (*Result, error) {
 	if spinProcs < 2 {
 		spinProcs = 2
 	}
-	prog, err := apps.BuildSpinKernel(rn.Cfg, spinProcs, 20, 50_000)
-	if err != nil {
-		return nil, err
+	var jobs []job
+	addJob := func(kind, procs int, size uint64) {
+		jobs = append(jobs, job{kind: kind, procs: procs, size: size, id: RunID(kindNames[kind], procs, size)})
 	}
-	if res.SpinKernel, err = sim.Run(rn.Cfg, prog); err != nil {
-		return nil, err
+	for _, n := range plan.ProcCounts {
+		addJob(jobBase, n, plan.S0)
+		addJob(jobSync, n, 0)
 	}
+	for _, s := range plan.UniSizes {
+		addJob(jobUni, 1, s)
+	}
+	addJob(jobSpin, spinProcs, 0)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ex := &executor{rn: rn, app: app, res: res, cancel: cancel}
+
+	workers := rn.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+dispatch:
+	for _, j := range jobs {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ex.run(ctx, j)
+		}(j)
+	}
+	wg.Wait()
+	res.Health.Finalize()
+
+	ex.mu.Lock()
+	criticalErr := ex.criticalErr
+	ex.mu.Unlock()
+	if criticalErr != nil {
+		return nil, criticalErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: canceled: %w", err)
+	}
+	sort.Slice(res.Skipped, func(i, k int) bool { return res.Skipped[i] < res.Skipped[k] })
 	if len(res.UniRuns) < 3 {
 		return nil, fmt.Errorf("campaign: only %d usable uniprocessor runs (app grid too coarse for the plan)", len(res.UniRuns))
 	}
 	return res, nil
+}
+
+// executor carries the shared state of one Execute call.
+type executor struct {
+	rn  *Runner
+	app apps.App
+	res *Result
+
+	mu          sync.Mutex
+	criticalErr error
+	cancel      context.CancelFunc
+}
+
+// criticalJob reports whether losing a run makes the campaign unfittable:
+// the uniprocessor base run anchors CPI0 and the spin kernel anchors
+// cpi_imb; every other run's loss only degrades the fit.
+func criticalJob(j job) bool {
+	return (j.kind == jobBase && j.procs == 1) || j.kind == jobSpin
+}
+
+// run executes one job: build, attempt (with retries), sanitize, record.
+func (ex *executor) run(ctx context.Context, j job) {
+	rn := ex.rn
+	var prog *sim.Program
+	var err error
+	switch j.kind {
+	case jobBase, jobUni:
+		prog, err = ex.app.Build(rn.Cfg, j.procs, j.size)
+	case jobSync:
+		prog, err = apps.BuildSyncKernel(rn.Cfg, j.procs, apps.SyncKernelBarriers)
+	case jobSpin:
+		prog, err = apps.BuildSpinKernel(rn.Cfg, j.procs, 20, 50_000)
+	}
+	if err != nil {
+		// A size too small for the app's grid is an expected skip for
+		// uniprocessor fractions; the model interpolates across it.
+		if j.kind == jobUni {
+			ex.mu.Lock()
+			ex.res.Skipped = append(ex.res.Skipped, j.size)
+			ex.mu.Unlock()
+			return
+		}
+		ex.fail(j, fmt.Errorf("campaign: building %s: %w", j.id, err))
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		out, err := ex.attempt(ctx, j, prog, attempt)
+		if err == nil {
+			ex.accept(j, out)
+			return
+		}
+		if ctx.Err() != nil || !retryable(err) || attempt >= rn.MaxRetries {
+			ex.fail(j, err)
+			return
+		}
+		backoff := rn.backoffFor(j.id, attempt)
+		ex.res.Health.AddRetry(j.id, attempt, backoff, err)
+		sleepCtx(ctx, backoff)
+	}
+}
+
+// attempt executes one try of one run under the per-attempt deadline,
+// consulting the injector for transient failures and hangs.
+func (ex *executor) attempt(ctx context.Context, j job, prog *sim.Program, attempt int) (*sim.Result, error) {
+	rn := ex.rn
+	actx := ctx
+	if rn.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, rn.RunTimeout)
+		defer cancel()
+	}
+	switch rn.Inject.Outcome(j.id, attempt) {
+	case faultinject.Transient:
+		return nil, fmt.Errorf("campaign: %s attempt %d: %w", j.id, attempt, faultinject.ErrTransient)
+	case faultinject.Hang:
+		if rn.RunTimeout <= 0 {
+			// With no deadline a hang would block the campaign forever;
+			// degrade it to a transient failure so retry still converges.
+			return nil, fmt.Errorf("campaign: %s attempt %d hung with no deadline: %w", j.id, attempt, faultinject.ErrTransient)
+		}
+		<-actx.Done()
+		return nil, fmt.Errorf("campaign: %s attempt %d hung until its deadline: %w", j.id, attempt, actx.Err())
+	}
+	out, err := sim.RunContext(actx, rn.Cfg, prog)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s attempt %d: %w", j.id, attempt, err)
+	}
+	return out, nil
+}
+
+// accept perturbs (under injection), sanitizes, and records a successful
+// run. A report that fails sanitization is quarantined, not recorded.
+func (ex *executor) accept(j job, out *sim.Result) {
+	rep := &out.Report
+	if ex.rn.Inject != nil {
+		rep, _ = ex.rn.Inject.PerturbReport(j.id, rep)
+	}
+	clean, findings := health.Sanitize(j.id, rep, ex.rn.minCPI())
+	ex.res.Health.Add(findings...)
+	if health.ShouldQuarantine(findings) {
+		ex.res.Health.AddQuarantine(j.id)
+		if criticalJob(j) {
+			ex.critical(fmt.Errorf("campaign: critical run %s quarantined; the model cannot fit without it", j.id))
+		}
+		return
+	}
+	out.Report = *clean
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	switch j.kind {
+	case jobBase:
+		ex.res.BaseRuns[j.procs] = out
+		if j.procs == 1 {
+			ex.res.UniRuns[out.DataBytes] = out // the s0 uniproc run doubles as a curve point
+		}
+	case jobUni:
+		ex.res.UniRuns[out.DataBytes] = out
+	case jobSync:
+		ex.res.SyncKernels[j.procs] = out
+	case jobSpin:
+		ex.res.SpinKernel = out
+	}
+}
+
+// fail records a permanent failure and escalates if the run was critical.
+func (ex *executor) fail(j job, err error) {
+	ex.res.Health.AddFailure(j.id, err)
+	if criticalJob(j) {
+		ex.critical(fmt.Errorf("campaign: critical run %s failed permanently: %w", j.id, err))
+	}
+}
+
+// critical records the first campaign-killing error and cancels the pool so
+// in-flight workers stop promptly.
+func (ex *executor) critical(err error) {
+	ex.mu.Lock()
+	if ex.criticalErr == nil {
+		ex.criticalErr = err
+	}
+	ex.mu.Unlock()
+	ex.cancel()
+}
+
+// minCPI is the quarantine floor for health.Sanitize: half the cheapest
+// per-instruction cost the machine can sustain.
+func (rn *Runner) minCPI() float64 {
+	m := rn.Cfg.Cost.ComputeCPI
+	if c := rn.Cfg.Cost.L1HitCPI; c > 0 && c < m {
+		m = c
+	}
+	return m / 2
+}
+
+// retryable reports whether an attempt's failure is worth retrying:
+// injected transient faults and blown per-attempt deadlines are;
+// cancellation and genuine simulator errors are not.
+func retryable(err error) bool {
+	return errors.Is(err, faultinject.ErrTransient) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoffFor computes attempt k's wait: RetryBase·2^k, jittered ±25%
+// deterministically from the run identity so a rerun reproduces the trace.
+func (rn *Runner) backoffFor(id string, attempt int) time.Duration {
+	if rn.RetryBase <= 0 {
+		return 0
+	}
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := float64(rn.RetryBase << uint(attempt))
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(attempt) * 0x9e3779b97f4a7c15
+	frac := 0.75 + 0.5*float64(h%1024)/1024
+	if b := time.Duration(d * frac); b < time.Minute {
+		return b
+	}
+	return time.Minute
+}
+
+// sleepCtx waits d or until ctx is canceled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 // SegmentInputs assembles the model's inputs restricted to the regions
@@ -320,6 +567,7 @@ func (r *Result) SegmentInputs(substr string) (model.Inputs, error) {
 		return in, err
 	}
 	in.SpinCPI = spin
+	r.addExpectations(&in)
 	return in, nil
 }
 

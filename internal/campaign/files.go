@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"strings"
 
 	"scaltool/internal/counters"
+	"scaltool/internal/health"
 	"scaltool/internal/model"
 )
 
@@ -17,9 +19,10 @@ import (
 // such a directory — the workflow a real Scal-Tool user would have, where
 // measurement and analysis happen on different days or machines.
 
-// fileName builds the canonical report file name for a run.
+// fileName builds the canonical report file name for a run (its RunID, at
+// the achieved data-set size, plus the JSON suffix).
 func fileName(kind string, procs int, size uint64) string {
-	return fmt.Sprintf("%s_p%02d_s%d.json", kind, procs, size)
+	return RunID(kind, procs, size) + ".json"
 }
 
 // SaveReports writes every counter report of the campaign into dir (created
@@ -30,13 +33,14 @@ func (r *Result) SaveReports(dir string) (int, error) {
 	}
 	n := 0
 	write := func(kind string, rep *counters.RunReport) error {
-		f, err := os.Create(filepath.Join(dir, fileName(kind, rep.Procs, rep.DataBytes)))
+		path := filepath.Join(dir, fileName(kind, rep.Procs, rep.DataBytes))
+		f, err := os.Create(path)
 		if err != nil {
-			return err
+			return fmt.Errorf("campaign: saving report for %s: %w", rep.Ident(), err)
 		}
 		defer f.Close()
 		if err := rep.WriteJSON(f); err != nil {
-			return err
+			return fmt.Errorf("campaign: writing %s: %w", path, err)
 		}
 		n++
 		return nil
@@ -118,7 +122,7 @@ func LoadInputs(dir string) (model.Inputs, error) {
 	}
 	cpiImb, err := model.SpinnerCPI(spin)
 	if err != nil {
-		return in, err
+		return in, fmt.Errorf("campaign: spin kernel %s: %w", spin.Ident(), err)
 	}
 	in.SpinCPI = cpiImb
 	return in, nil
@@ -131,4 +135,91 @@ func FitDir(dir string, opts model.Options) (*model.Model, error) {
 		return nil, err
 	}
 	return model.Fit(in, opts)
+}
+
+// LoadInputsTolerant reads a report directory like LoadInputs, but survives
+// damaged inputs: a file that cannot be read or parsed, an unrecognized file
+// name, and a report that fails health sanitization are each quarantined
+// into the returned health report instead of aborting the load, and every
+// repair the sanitizer makes is recorded there. The error is non-nil only
+// when what remains cannot possibly fit (no usable spin-kernel report) — it
+// then wraps model.ErrInsufficientInputs.
+func LoadInputsTolerant(dir string) (model.Inputs, *health.Report, error) {
+	var in model.Inputs
+	in.SyncKernel = map[int]model.Measurement{}
+	hr := health.NewReport()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return in, hr, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic assembly
+	quarantine := func(id, detail string) {
+		hr.Add(health.Finding{Run: id, Check: "file", Severity: health.Quarantine, Detail: detail})
+		hr.AddQuarantine(id)
+	}
+	var spin *counters.RunReport
+	for _, name := range names {
+		id := strings.TrimSuffix(name, ".json")
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			quarantine(id, err.Error())
+			continue
+		}
+		rep, err := counters.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			quarantine(id, fmt.Sprintf("unreadable report: %v", err))
+			continue
+		}
+		clean, findings := health.Sanitize(id, rep, 0)
+		hr.Add(findings...)
+		if health.ShouldQuarantine(findings) {
+			hr.AddQuarantine(id)
+			continue
+		}
+		m := model.FromReport(clean)
+		switch {
+		case strings.HasPrefix(name, "base_"):
+			in.Base = append(in.Base, m)
+			if clean.Procs == 1 {
+				in.Uniproc = append(in.Uniproc, m)
+			}
+		case strings.HasPrefix(name, "uni_"):
+			in.Uniproc = append(in.Uniproc, m)
+		case strings.HasPrefix(name, "ksync_"):
+			in.SyncKernel[clean.Procs] = m
+		case strings.HasPrefix(name, "kspin_"):
+			spin = clean
+		default:
+			quarantine(id, "unrecognized report file name")
+		}
+	}
+	hr.Finalize()
+	in.DroppedRuns = hr.DroppedRuns()
+	if spin == nil {
+		return in, hr, fmt.Errorf("campaign: %s has no usable spin-kernel report: %w", dir, model.ErrInsufficientInputs)
+	}
+	cpiImb, err := model.SpinnerCPI(spin)
+	if err != nil {
+		return in, hr, fmt.Errorf("campaign: spin kernel %s: %w", spin.Ident(), err)
+	}
+	in.SpinCPI = cpiImb
+	return in, hr, nil
+}
+
+// FitDirTolerant loads a report directory tolerantly and fits the model on
+// whatever survived, returning the health report alongside. The model's
+// Degradation record carries the quarantined run identities.
+func FitDirTolerant(dir string, opts model.Options) (*model.Model, *health.Report, error) {
+	in, hr, err := LoadInputsTolerant(dir)
+	if err != nil {
+		return nil, hr, err
+	}
+	m, err := model.Fit(in, opts)
+	return m, hr, err
 }

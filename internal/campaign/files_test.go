@@ -1,11 +1,15 @@
 package campaign
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	"scaltool/internal/apps"
+	"scaltool/internal/counters"
 	"scaltool/internal/model"
 )
 
@@ -78,5 +82,109 @@ func TestLoadInputsErrors(t *testing.T) {
 	}
 	if _, err := LoadInputs(dir); err == nil {
 		t.Error("bogus report accepted")
+	}
+}
+
+func TestLoadInputsTolerant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	c := cfg()
+	app, _ := apps.ByName("swim")
+	plan, err := NewPlan(app, c, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := &Runner{Cfg: c}
+	res, err := rn.Run(app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := res.SaveReports(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage the directory the way a flaky measurement farm would: truncate
+	// one uniprocessor report mid-write, skew another within the repair
+	// band, and drop in a file nothing recognizes.
+	base1 := res.BaseRuns[1]
+	var uniSizes []uint64
+	for s, r := range res.UniRuns {
+		if r != base1 {
+			uniSizes = append(uniSizes, s)
+		}
+	}
+	sort.Slice(uniSizes, func(i, j int) bool { return uniSizes[i] < uniSizes[j] })
+	if len(uniSizes) < 3 {
+		t.Fatalf("campaign produced only %d distinct uni files", len(uniSizes))
+	}
+	truncName := fileName("uni", 1, uniSizes[0])
+	data, err := os.ReadFile(filepath.Join(dir, truncName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, truncName), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	skewName := fileName("uni", 1, uniSizes[1])
+	skewRep := res.UniRuns[uniSizes[1]].Report
+	skewRep.PerProc = append([]counters.Set(nil), skewRep.PerProc...)
+	ops := skewRep.PerProc[0].MemOps()
+	skewRep.PerProc[0][counters.L1DMisses] = ops + ops/30
+	f, err := os.Create(filepath.Join(dir, skewName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := skewRep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := os.WriteFile(filepath.Join(dir, "junk_p01_s1.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The strict loader must refuse the damaged directory...
+	if _, err := LoadInputs(dir); err == nil {
+		t.Error("strict loader accepted a damaged directory")
+	}
+	// ...while the tolerant loader quarantines, repairs, and carries on.
+	in, hr, err := LoadInputsTolerant(dir)
+	if err != nil {
+		t.Fatalf("tolerant load: %v", err)
+	}
+	truncID := strings.TrimSuffix(truncName, ".json")
+	wantQuarantined := map[string]bool{truncID: true, "junk_p01_s1": true}
+	if len(hr.Quarantined) != len(wantQuarantined) {
+		t.Fatalf("quarantined %v, want %v", hr.Quarantined, wantQuarantined)
+	}
+	for _, id := range hr.Quarantined {
+		if !wantQuarantined[id] {
+			t.Errorf("unexpected quarantine %q", id)
+		}
+	}
+	_, repairs, _ := hr.Counts()
+	if repairs != 1 {
+		t.Errorf("repairs = %d, want 1 (the skewed L2 counter)", repairs)
+	}
+	if got, want := in.DroppedRuns, hr.DroppedRuns(); len(got) != len(want) {
+		t.Errorf("DroppedRuns %v not propagated (%v)", got, want)
+	}
+
+	m, hr2, err := FitDirTolerant(dir, model.DefaultOptions(c.L2.SizeBytes))
+	if err != nil {
+		t.Fatalf("tolerant fit: %v", err)
+	}
+	if hr2.Clean() {
+		t.Error("health report clean despite quarantines")
+	}
+	if !m.Degradation.Degraded || len(m.Degradation.DroppedRuns) != 2 {
+		t.Errorf("degradation = %+v, want 2 dropped runs", m.Degradation)
+	}
+
+	// An empty directory is an insufficiency, stated as one.
+	_, _, err = LoadInputsTolerant(t.TempDir())
+	if !errors.Is(err, model.ErrInsufficientInputs) {
+		t.Errorf("empty dir error %v does not wrap ErrInsufficientInputs", err)
 	}
 }

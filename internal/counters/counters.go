@@ -157,23 +157,29 @@ func (r *RunReport) Total() Set {
 // the paper's Figures 6/9/12).
 func (r *RunReport) TotalCycles() uint64 { return r.Total()[Cycles] }
 
+// Ident names the report in error messages: which app on which machine at
+// which (processor count, size) point — enough to find the offending run.
+func (r *RunReport) Ident() string {
+	return fmt.Sprintf("%s/%s p%d s%d", r.Machine, r.App, r.Procs, r.DataBytes)
+}
+
 // Validate checks internal consistency.
 func (r *RunReport) Validate() error {
 	if r.Procs <= 0 {
-		return fmt.Errorf("counters: bad processor count %d", r.Procs)
+		return fmt.Errorf("counters: report %s: bad processor count %d", r.Ident(), r.Procs)
 	}
 	if len(r.PerProc) != r.Procs {
-		return fmt.Errorf("counters: %d per-proc sets for %d processors", len(r.PerProc), r.Procs)
+		return fmt.Errorf("counters: report %s: %d per-proc sets for %d processors", r.Ident(), len(r.PerProc), r.Procs)
 	}
 	if r.DataBytes == 0 {
-		return fmt.Errorf("counters: zero data size")
+		return fmt.Errorf("counters: report %s: zero data size", r.Ident())
 	}
 	for p, s := range r.PerProc {
 		if s[L2Misses] > s[L1DMisses] {
-			return fmt.Errorf("counters: proc %d has more L2 misses (%d) than L1 misses (%d)", p, s[L2Misses], s[L1DMisses])
+			return fmt.Errorf("counters: report %s: proc %d has more L2 misses (%d) than L1 misses (%d)", r.Ident(), p, s[L2Misses], s[L1DMisses])
 		}
 		if s[GradInstr] == 0 {
-			return fmt.Errorf("counters: proc %d graduated no instructions", p)
+			return fmt.Errorf("counters: report %s: proc %d graduated no instructions", r.Ident(), p)
 		}
 	}
 	return nil
@@ -193,7 +199,7 @@ func ReadJSON(rd io.Reader) (*RunReport, error) {
 		return nil, fmt.Errorf("counters: decoding report: %w", err)
 	}
 	if err := r.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("counters: parsed report is inconsistent: %w", err)
 	}
 	return &r, nil
 }

@@ -22,6 +22,29 @@ func FuzzReadJSON(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"procs":-1}`))
 	f.Add([]byte(`not json at all`))
+	// Truncated mid-write, as a crashed measurement node leaves it.
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Add(buf.Bytes()[:1])
+	// A single byte corrupted to a value never valid in JSON.
+	corrupt := bytes.Replace(buf.Bytes(), []byte("procs"), []byte("pro\xffs"), 1)
+	f.Add(corrupt)
+	// Duplicated fields: the decoder keeps the last value; the report must
+	// still parse-or-error, never panic.
+	f.Add([]byte(`{"procs":1,"procs":2,"data_bytes":64,"data_bytes":0,"per_proc":[[10,8,0,0,0,0,0,0]],"per_proc":[[10,8,0,0,0,0,0,0],[10,8,0,0,0,0,0,0]],"wall_cycles":10}`))
+	// A wrapped 32-bit counter: cycles far below wall_cycles by a whole
+	// number of 2^32 wraps. Structurally valid — the parser accepts it and
+	// health.Sanitize (not this package) is responsible for the repair.
+	wrapped := &RunReport{
+		Machine: "m", App: "a", Procs: 1, DataBytes: 64,
+		PerProc: make([]Set, 1), WallCycles: (uint64(3) << 32) + 12345,
+	}
+	wrapped.PerProc[0].Add(Cycles, 12345)
+	wrapped.PerProc[0].Add(GradInstr, 8)
+	var wbuf bytes.Buffer
+	if err := wrapped.WriteJSON(&wbuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wbuf.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rep, err := ReadJSON(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,265 @@
+// Package faultinject deterministically injects realistic measurement
+// faults into Scal-Tool's pipeline. Real hardware event counters are noisy
+// (multiplexed sampling extrapolates), saturating (32-bit counters wrap),
+// and occasionally absent (a counter slot never scheduled); real measurement
+// runs fail transiently (node crash, scheduler kill) or hang; real report
+// files arrive truncated or corrupt. A production campaign has to survive
+// all of that, and a reproducible chaos test has to inject it on demand.
+//
+// Every decision the injector makes is a pure function of (Spec.Seed, run
+// identity, attempt, processor, event): the same seed and spec produce
+// byte-identical perturbed reports and identical retry traces regardless of
+// worker count or scheduling.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+
+	"scaltool/internal/counters"
+)
+
+// Kind names one fault class.
+type Kind string
+
+// The fault kinds the injector can produce.
+const (
+	KindNoise     Kind = "noise"     // multiplexing estimation noise on a counter
+	KindDrop      Kind = "drop"      // counter never scheduled: reads zero
+	KindWrap      Kind = "wrap"      // 32-bit counter wraparound
+	KindTransient Kind = "transient" // run attempt fails transiently
+	KindHang      Kind = "hang"      // run attempt hangs past its deadline
+	KindTruncate  Kind = "truncate"  // report file truncated mid-write
+	KindCorrupt   Kind = "corrupt"   // report file byte-corrupted
+	KindPoison    Kind = "poison"    // report made internally inconsistent (quarantine bait)
+	KindSkew      Kind = "skew"      // mildly inconsistent counters (repairable)
+)
+
+// Fault records one injected fault, for tests that cross-check the health
+// report against what was actually injected.
+type Fault struct {
+	Kind   Kind
+	Run    string
+	Detail string
+}
+
+// ErrTransient marks an injected failure the campaign may retry. Errors
+// wrapping it satisfy errors.Is(err, ErrTransient).
+var ErrTransient = fmt.Errorf("faultinject: transient run failure")
+
+// Decision is the injector's verdict for one run attempt.
+type Decision int
+
+// Attempt outcomes.
+const (
+	OK        Decision = iota // attempt proceeds normally
+	Transient                 // attempt fails with a retryable error
+	Hang                      // attempt hangs until its deadline reaps it
+)
+
+// Injector applies a Spec deterministically.
+type Injector struct {
+	spec   Spec
+	fail   map[string]bool
+	stall  map[string]bool
+	poison map[string]bool
+	skew   map[string]bool
+}
+
+// New builds an injector for a spec. A nil *Injector is valid and injects
+// nothing.
+func New(spec Spec) *Injector {
+	if spec.MaxFailures <= 0 {
+		spec.MaxFailures = 1
+	}
+	return &Injector{
+		spec:   spec,
+		fail:   toSet(spec.FailRuns),
+		stall:  toSet(spec.StallRuns),
+		poison: toSet(spec.PoisonRuns),
+		skew:   toSet(spec.SkewRuns),
+	}
+}
+
+// Spec returns the injector's spec.
+func (in *Injector) Spec() Spec { return in.spec }
+
+func toSet(ids []string) map[string]bool {
+	m := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// Outcome decides what happens to one attempt of one run. Targeted runs
+// (FailRuns/StallRuns) fail on their first attempt only; probabilistic
+// failures stop after MaxFailures attempts so bounded retry converges.
+func (in *Injector) Outcome(run string, attempt int) Decision {
+	if in == nil {
+		return OK
+	}
+	if attempt == 0 {
+		if in.fail[run] {
+			return Transient
+		}
+		if in.stall[run] {
+			return Hang
+		}
+	}
+	if attempt < in.spec.MaxFailures {
+		if in.prob(in.spec.Transient, hashString(run), uint64(attempt), 0x7a) {
+			return Transient
+		}
+		if in.prob(in.spec.Hang, hashString(run), uint64(attempt), 0x7b) {
+			return Hang
+		}
+	}
+	return OK
+}
+
+// muxShareScale is the noise amplification of two-counter multiplexing: the
+// R10000 exposes two physical counters, so each of the muxed events (all but
+// cycles and graduated instructions, which perfex pins) is live for a 2/muxed
+// share of the run and its extrapolation noise grows like sqrt(muxed/2).
+func muxShareScale() float64 {
+	muxed := float64(counters.NumEvents - 2)
+	return math.Sqrt(muxed / 2)
+}
+
+// PerturbReport returns a perturbed copy of a run's counter report, plus
+// the list of faults injected. The input report is never modified.
+func (in *Injector) PerturbReport(run string, rep *counters.RunReport) (*counters.RunReport, []Fault) {
+	out := *rep
+	out.PerProc = append([]counters.Set(nil), rep.PerProc...)
+	if in == nil {
+		return &out, nil
+	}
+	var faults []Fault
+	add := func(kind Kind, detail string) {
+		faults = append(faults, Fault{Kind: kind, Run: run, Detail: detail})
+	}
+
+	relErr := in.spec.Noise * muxShareScale()
+	for p := range out.PerProc {
+		s := &out.PerProc[p]
+		for e := 0; e < counters.NumEvents; e++ {
+			ev := counters.Event(e)
+			exact := ev == counters.Cycles || ev == counters.GradInstr
+			v := s.Get(ev)
+			// Multiplexing noise: muxed events only, scaled by sampling
+			// share; pinned events are exact, as perfex reports them.
+			if !exact && v != 0 && relErr > 0 {
+				frac := in.signedFrac(hashString(run), uint64(p), uint64(e), 0x11) // [-1, 1]
+				scaled := float64(v) * (1 + frac*relErr)
+				if scaled < 0 {
+					scaled = 0
+				}
+				nv := uint64(scaled + 0.5)
+				if nv != v {
+					s[ev] = nv
+					add(KindNoise, fmt.Sprintf("proc %d %s: %d → %d", p, ev, v, nv))
+					v = nv
+				}
+			}
+			// 32-bit wraparound: only values that actually exceed the
+			// counter width can wrap.
+			if v >= 1<<32 && in.prob(in.spec.Wrap, hashString(run), uint64(p), uint64(e), 0x22) {
+				s[ev] = v & (1<<32 - 1)
+				add(KindWrap, fmt.Sprintf("proc %d %s: %d wrapped to %d", p, ev, v, s[ev]))
+				v = s[ev]
+			}
+			// Dropped counter: the event's slot never got scheduled.
+			if v != 0 && in.prob(in.spec.Drop, hashString(run), uint64(p), uint64(e), 0x33) {
+				s[ev] = 0
+				add(KindDrop, fmt.Sprintf("proc %d %s: dropped (was %d)", p, ev, v))
+			}
+		}
+	}
+	if in.skew[run] && len(out.PerProc) > 0 {
+		s := &out.PerProc[0]
+		l1 := s.Get(counters.L1DMisses)
+		skewed := l1 + l1/20 + 1 // ~5% over the L1 misses: repairable
+		s[counters.L2Misses] = skewed
+		add(KindSkew, fmt.Sprintf("proc 0 l2_misses skewed above l1d_misses (%d > %d)", skewed, l1))
+	}
+	if in.poison[run] && len(out.PerProc) > 0 {
+		out.PerProc[0][counters.GradInstr] = 0
+		add(KindPoison, "proc 0 grad_instr zeroed: report made implausible")
+	}
+	return &out, faults
+}
+
+// MangleFile applies file-level faults (truncation, byte corruption) to a
+// serialized report, keyed by the file name. The returned slice is a copy
+// when a fault fires, the original otherwise.
+func (in *Injector) MangleFile(name string, data []byte) ([]byte, []Fault) {
+	if in == nil || len(data) < 2 {
+		return data, nil
+	}
+	var faults []Fault
+	if in.prob(in.spec.Truncate, hashString(name), 0x44) {
+		full := len(data)
+		cut := 1 + int(mix(in.spec.Seed, hashString(name), 0x45)%uint64(full-1))
+		data = append([]byte(nil), data[:cut]...)
+		faults = append(faults, Fault{Kind: KindTruncate, Run: name,
+			Detail: fmt.Sprintf("truncated to %d of %d bytes", cut, full)})
+		return data, faults
+	}
+	if in.prob(in.spec.Corrupt, hashString(name), 0x46) {
+		out := append([]byte(nil), data...)
+		pos := int(mix(in.spec.Seed, hashString(name), 0x47) % uint64(len(out)))
+		out[pos] = 0xFF // never valid in a JSON document
+		faults = append(faults, Fault{Kind: KindCorrupt, Run: name,
+			Detail: fmt.Sprintf("byte %d overwritten", pos)})
+		return out, faults
+	}
+	return data, nil
+}
+
+// prob draws a deterministic Bernoulli sample for a decision site.
+func (in *Injector) prob(p float64, parts ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := mix(append([]uint64{in.spec.Seed}, parts...)...)
+	return float64(h%1_000_000_007)/1_000_000_007 < p
+}
+
+// signedFrac draws a deterministic value in [-1, 1].
+func (in *Injector) signedFrac(parts ...uint64) float64 {
+	h := mix(append([]uint64{in.spec.Seed}, parts...)...)
+	return float64(h%2_000_001)/1_000_000 - 1
+}
+
+// mix chains splitmix64 over the parts — the same construction the counters
+// package uses for multiplexing jitter.
+func mix(parts ...uint64) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		x ^= p + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x = splitmix64(x)
+	}
+	return x
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a, fixing the run-identity hash independent of Go's
+// randomized map hashing.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

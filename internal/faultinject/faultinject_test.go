@@ -1,0 +1,223 @@
+package faultinject
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"scaltool/internal/counters"
+)
+
+// sampleReport builds a plausible multi-processor report with counters big
+// enough for every fault kind (including 32-bit wraps) to have purchase.
+func sampleReport() *counters.RunReport {
+	r := &counters.RunReport{
+		Machine: "scaled", App: "swim", Procs: 4, DataBytes: 1 << 20,
+		PerProc: make([]counters.Set, 4), WallCycles: 6 << 32,
+		Barriers: 40, Locks: 3, TouchedPages: 100, PageBytes: 4096,
+	}
+	for p := range r.PerProc {
+		s := &r.PerProc[p]
+		s.Add(counters.Cycles, 6<<32)
+		s.Add(counters.GradInstr, 5<<32)
+		s.Add(counters.GradLoads, 1<<32)
+		s.Add(counters.GradStores, 1<<30)
+		s.Add(counters.L1DMisses, 90_000_000)
+		s.Add(counters.L2Misses, 10_000_000)
+		s.Add(counters.StoreShared, 1_000_000+uint64(p))
+	}
+	return r
+}
+
+func reportBytes(t *testing.T, r *counters.RunReport) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPerturbDeterministic is the robustness contract: same seed + spec ⇒
+// byte-identical perturbed reports, independent of injector instance.
+func TestPerturbDeterministic(t *testing.T) {
+	spec := Spec{Seed: 99, Noise: 0.05, Drop: 0.1, Wrap: 0.3}
+	a, _ := New(spec).PerturbReport("base_p04_s1048576", sampleReport())
+	b, _ := New(spec).PerturbReport("base_p04_s1048576", sampleReport())
+	if !bytes.Equal(reportBytes(t, a), reportBytes(t, b)) {
+		t.Fatal("same seed+spec produced different perturbed reports")
+	}
+	c, _ := New(Spec{Seed: 100, Noise: 0.05, Drop: 0.1, Wrap: 0.3}).PerturbReport("base_p04_s1048576", sampleReport())
+	if bytes.Equal(reportBytes(t, a), reportBytes(t, c)) {
+		t.Fatal("different seeds produced identical perturbations (degenerate hashing)")
+	}
+}
+
+func TestPerturbDoesNotMutateInput(t *testing.T) {
+	orig := sampleReport()
+	want := reportBytes(t, orig)
+	New(Spec{Seed: 1, Noise: 0.5, Drop: 0.5, Wrap: 0.5, PoisonRuns: []string{"x"}, SkewRuns: []string{"x"}}).
+		PerturbReport("x", orig)
+	if !bytes.Equal(want, reportBytes(t, orig)) {
+		t.Fatal("PerturbReport mutated its input report")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if d := in.Outcome("r", 0); d != OK {
+		t.Fatalf("nil injector Outcome = %v", d)
+	}
+	out, faults := in.PerturbReport("r", sampleReport())
+	if len(faults) != 0 || !bytes.Equal(reportBytes(t, out), reportBytes(t, sampleReport())) {
+		t.Fatal("nil injector perturbed a report")
+	}
+}
+
+func TestOutcomeTargetedAndBounded(t *testing.T) {
+	in := New(Spec{Seed: 5, FailRuns: []string{"a"}, StallRuns: []string{"b"}})
+	if in.Outcome("a", 0) != Transient || in.Outcome("a", 1) != OK {
+		t.Error("FailRuns must fail exactly the first attempt")
+	}
+	if in.Outcome("b", 0) != Hang || in.Outcome("b", 1) != OK {
+		t.Error("StallRuns must hang exactly the first attempt")
+	}
+	if in.Outcome("c", 0) != OK {
+		t.Error("untargeted run failed with no probabilistic faults")
+	}
+	// With transient=1 every attempt under MaxFailures fails, and the one
+	// after is clean — bounded retry always converges.
+	in = New(Spec{Seed: 5, Transient: 1, MaxFailures: 2})
+	if in.Outcome("c", 0) != Transient || in.Outcome("c", 1) != Transient {
+		t.Error("probabilistic transient did not fire below MaxFailures")
+	}
+	if in.Outcome("c", 2) != OK {
+		t.Error("probabilistic transient fired at MaxFailures; retry cannot converge")
+	}
+	// The whole decision trace is deterministic.
+	trace := func() []Decision {
+		i := New(Spec{Seed: 7, Transient: 0.5, Hang: 0.3, MaxFailures: 3})
+		var ds []Decision
+		for _, run := range []string{"r1", "r2", "r3", "r4"} {
+			for attempt := 0; attempt < 4; attempt++ {
+				ds = append(ds, i.Outcome(run, attempt))
+			}
+		}
+		return ds
+	}
+	if !reflect.DeepEqual(trace(), trace()) {
+		t.Error("Outcome trace not deterministic for a fixed seed")
+	}
+}
+
+func TestPerturbPoisonAndSkew(t *testing.T) {
+	in := New(Spec{Seed: 3, PoisonRuns: []string{"p"}, SkewRuns: []string{"s"}})
+	poisoned, faults := in.PerturbReport("p", sampleReport())
+	if poisoned.PerProc[0][counters.GradInstr] != 0 {
+		t.Error("poison did not zero proc 0 grad_instr")
+	}
+	if len(faults) != 1 || faults[0].Kind != KindPoison {
+		t.Errorf("poison faults = %v", faults)
+	}
+	if err := poisoned.Validate(); err == nil {
+		t.Error("poisoned report still validates; quarantine bait is broken")
+	}
+	skewed, faults := in.PerturbReport("s", sampleReport())
+	s := skewed.PerProc[0]
+	if s[counters.L2Misses] <= s[counters.L1DMisses] {
+		t.Error("skew did not push L2 misses above L1 misses")
+	}
+	if float64(s[counters.L2Misses]) > 1.1*float64(s[counters.L1DMisses]) {
+		t.Error("skew overshot the repairable band")
+	}
+	if len(faults) != 1 || faults[0].Kind != KindSkew {
+		t.Errorf("skew faults = %v", faults)
+	}
+}
+
+func TestWrapOnlyAffectsWideCounters(t *testing.T) {
+	rep := sampleReport()
+	for p := range rep.PerProc {
+		rep.PerProc[p][counters.Cycles] = 1000 // below 2^32: cannot wrap
+	}
+	rep.WallCycles = 1000
+	out, faults := New(Spec{Seed: 1, Wrap: 1}).PerturbReport("w", rep)
+	for _, f := range faults {
+		if f.Kind == KindWrap && out.PerProc[0][counters.Cycles] != 1000 {
+			t.Fatalf("narrow counter wrapped: %v", f)
+		}
+	}
+	for p := range out.PerProc {
+		if got := out.PerProc[p][counters.GradInstr]; got != (5<<32)&(1<<32-1) {
+			t.Fatalf("proc %d grad_instr = %d, want wrapped value", p, got)
+		}
+	}
+}
+
+func TestMangleFileDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte(`{"k":"v"}`), 100)
+	in := New(Spec{Seed: 11, Truncate: 1})
+	a, fa := in.MangleFile("base_p01_s64.json", data)
+	b, fb := in.MangleFile("base_p01_s64.json", data)
+	if !bytes.Equal(a, b) || !reflect.DeepEqual(fa, fb) {
+		t.Fatal("MangleFile not deterministic")
+	}
+	if len(a) >= len(data) || len(fa) != 1 || fa[0].Kind != KindTruncate {
+		t.Fatalf("truncation did not fire: %d bytes, faults %v", len(a), fa)
+	}
+	c, fc := New(Spec{Seed: 11, Corrupt: 1}).MangleFile("x.json", data)
+	if len(c) != len(data) || bytes.Equal(c, data) || len(fc) != 1 || fc[0].Kind != KindCorrupt {
+		t.Fatalf("corruption did not fire: faults %v", fc)
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte(`{"k":"v"}`), 100)) {
+		t.Fatal("MangleFile mutated its input")
+	}
+}
+
+func TestSpecParseRoundTrip(t *testing.T) {
+	text := "seed=42,noise=0.02,transient=0.1,maxfail=2,failrun=base_p04_s1048576,poisonrun=uni_p01_s512"
+	spec, err := ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 42 || spec.Noise != 0.02 || spec.Transient != 0.1 || spec.MaxFailures != 2 {
+		t.Fatalf("parsed spec %+v", spec)
+	}
+	if !reflect.DeepEqual(spec.FailRuns, []string{"base_p04_s1048576"}) ||
+		!reflect.DeepEqual(spec.PoisonRuns, []string{"uni_p01_s512"}) {
+		t.Fatalf("targeted runs %+v", spec)
+	}
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", spec.String(), err)
+	}
+	if !reflect.DeepEqual(spec, again) {
+		t.Fatalf("round trip changed the spec:\n  %+v\n  %+v", spec, again)
+	}
+	if !spec.Active() {
+		t.Error("non-empty spec reported inactive")
+	}
+	var zero Spec
+	if zero.Active() {
+		t.Error("zero spec reported active")
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nonsense",
+		"noise=2",
+		"noise=-0.1",
+		"seed=abc",
+		"maxfail=-1",
+		"unknown=1",
+		"failrun=",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if s, err := ParseSpec("  "); err != nil || s.Active() {
+		t.Errorf("blank spec: %+v, %v", s, err)
+	}
+}

@@ -1,0 +1,167 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec declares which faults to inject and at what rates. The zero Spec
+// injects nothing. Probabilistic fields are per-decision-site probabilities
+// in [0, 1]; targeted fields name exact run identities (campaign.RunID
+// strings) and fire deterministically on the run's first attempt.
+type Spec struct {
+	// Seed drives every random decision; same seed + spec → identical
+	// faults, byte for byte.
+	Seed uint64
+
+	// Noise is the relative multiplexing-estimation error applied to each
+	// muxed counter (everything but cycles and graduated instructions),
+	// before scaling by the two-counter sampling share.
+	Noise float64
+	// Drop is the per-counter probability that an event's slot was never
+	// scheduled and the counter reads zero.
+	Drop float64
+	// Wrap is the per-counter probability that a value ≥ 2^32 is reported
+	// modulo 2^32 (a saturated 32-bit hardware counter).
+	Wrap float64
+	// Transient is the per-attempt probability a run fails retryably.
+	Transient float64
+	// Hang is the per-attempt probability a run hangs until its deadline.
+	Hang float64
+	// Truncate and Corrupt are per-file probabilities for report files.
+	Truncate float64
+	Corrupt  float64
+
+	// MaxFailures caps how many consecutive attempts of one run the
+	// probabilistic Transient/Hang faults may kill, so a bounded retry
+	// policy always converges (default 1).
+	MaxFailures int
+
+	// Targeted faults, by run identity.
+	FailRuns   []string // fail transiently on the first attempt
+	StallRuns  []string // hang on the first attempt
+	PoisonRuns []string // report made implausible (forces quarantine)
+	SkewRuns   []string // counters mildly inconsistent (repairable)
+}
+
+// specFloatKeys maps spec-string keys to Spec float fields.
+func (s *Spec) floatFields() map[string]*float64 {
+	return map[string]*float64{
+		"noise": &s.Noise, "drop": &s.Drop, "wrap": &s.Wrap,
+		"transient": &s.Transient, "hang": &s.Hang,
+		"truncate": &s.Truncate, "corrupt": &s.Corrupt,
+	}
+}
+
+func (s *Spec) listFields() map[string]*[]string {
+	return map[string]*[]string{
+		"failrun": &s.FailRuns, "stallrun": &s.StallRuns,
+		"poisonrun": &s.PoisonRuns, "skewrun": &s.SkewRuns,
+	}
+}
+
+// ParseSpec parses the -fault-spec flag syntax: comma-separated key=value
+// pairs, e.g.
+//
+//	seed=42,noise=0.02,transient=0.1,maxfail=2,failrun=base_p04_s1048576
+//
+// Keys: seed, maxfail (integers); noise, drop, wrap, transient, hang,
+// truncate, corrupt (probabilities in [0,1]); failrun, stallrun, poisonrun,
+// skewrun (run identities, repeatable).
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return s, fmt.Errorf("faultinject: spec entry %q is not key=value", part)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("faultinject: seed %q: %w", v, err)
+			}
+			s.Seed = n
+		case "maxfail":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return s, fmt.Errorf("faultinject: maxfail %q must be a non-negative integer", v)
+			}
+			s.MaxFailures = n
+		default:
+			if fp, ok := s.floatFields()[k]; ok {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 || f > 1 {
+					return s, fmt.Errorf("faultinject: %s %q must be a probability in [0,1]", k, v)
+				}
+				*fp = f
+				continue
+			}
+			if lp, ok := s.listFields()[k]; ok {
+				if v == "" {
+					return s, fmt.Errorf("faultinject: %s needs a run identity", k)
+				}
+				*lp = append(*lp, v)
+				continue
+			}
+			return s, fmt.Errorf("faultinject: unknown spec key %q", k)
+		}
+	}
+	return s, nil
+}
+
+// String renders the spec back into ParseSpec syntax (canonical order, so
+// two equal specs print identically).
+func (s Spec) String() string {
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	floats := s.floatFields()
+	keys := make([]string, 0, len(floats))
+	for k := range floats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v := *floats[k]; v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	if s.MaxFailures > 0 {
+		parts = append(parts, fmt.Sprintf("maxfail=%d", s.MaxFailures))
+	}
+	lists := s.listFields()
+	lkeys := make([]string, 0, len(lists))
+	for k := range lists {
+		lkeys = append(lkeys, k)
+	}
+	sort.Strings(lkeys)
+	for _, k := range lkeys {
+		for _, id := range *lists[k] {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, id))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Active reports whether the spec injects anything at all.
+func (s Spec) Active() bool {
+	for _, f := range []float64{s.Noise, s.Drop, s.Wrap, s.Transient, s.Hang, s.Truncate, s.Corrupt} {
+		if f > 0 {
+			return true
+		}
+	}
+	return len(s.FailRuns)+len(s.StallRuns)+len(s.PoisonRuns)+len(s.SkewRuns) > 0
+}

@@ -20,6 +20,10 @@ type BreakdownPoint struct {
 	// NoMP is Base with both the caching-space and all multiprocessor
 	// effects removed (the bottom curve, Base−L2Lim−MP).
 	NoMP float64
+
+	// Interpolated flags that this point's coherence estimate rests on an
+	// interpolated hit-rate sample (degraded input set) — plot it hollow.
+	Interpolated bool
 }
 
 // L2Lim returns the estimated insufficient-caching-space cycles.
@@ -35,11 +39,12 @@ func (m *Model) Breakdown() []BreakdownPoint {
 	for _, pe := range m.Points {
 		inst := counters.ToFloat(pe.Meas.Instr)
 		bp := BreakdownPoint{
-			Procs: pe.Procs,
-			Base:  counters.ToFloat(pe.Meas.Cycles),
-			NoL2:  pe.CPIInf * inst,
-			Sync:  pe.CpiSync * pe.FracSync * inst,
-			Imb:   m.CpiImb * pe.FracImb * inst,
+			Procs:        pe.Procs,
+			Base:         counters.ToFloat(pe.Meas.Cycles),
+			NoL2:         pe.CPIInf * inst,
+			Sync:         pe.CpiSync * pe.FracSync * inst,
+			Imb:          m.CpiImb * pe.FracImb * inst,
+			Interpolated: pe.CohInterpolated,
 		}
 		bp.NoMP = pe.CPIInfInf * (1 - pe.FracSync - pe.FracImb) * inst
 		out = append(out, bp)

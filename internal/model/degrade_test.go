@@ -1,0 +1,163 @@
+package model
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// expectations mirrors what a full campaign would declare for synthInputs.
+func expectations(in *Inputs) {
+	for _, u := range in.Uniproc {
+		in.ExpectedUniSizes = append(in.ExpectedUniSizes, u.DataBytes)
+	}
+	in.ExpectedProcs = []int{1, 2, 4, 8}
+}
+
+func TestCleanFitNotDegraded(t *testing.T) {
+	in := synthInputs()
+	expectations(&in)
+	m, err := Fit(in, DefaultOptions(l2Bytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degradation.Degraded {
+		t.Fatalf("full input set reported degraded: %s", m.Degradation.Summary())
+	}
+	if m.Degradation.Summary() != "" {
+		t.Error("clean fit has a non-empty degradation summary")
+	}
+	for _, bp := range m.Breakdown() {
+		if bp.Interpolated {
+			t.Errorf("n=%d marked interpolated on full inputs", bp.Procs)
+		}
+	}
+}
+
+// TestDegradedFitRecordsLosses drops a uniprocessor size (the s0/8 working
+// set), a base processor count, and a sync kernel, then checks the fit still
+// runs and the typed record enumerates each loss.
+func TestDegradedFitRecordsLosses(t *testing.T) {
+	in := synthInputs()
+	expectations(&in)
+	const lost = 80 << 10
+	var uni []Measurement
+	for _, u := range in.Uniproc {
+		if u.DataBytes != lost {
+			uni = append(uni, u)
+		}
+	}
+	in.Uniproc = uni
+	var base []Measurement
+	for _, b := range in.Base {
+		if b.Procs != 4 {
+			base = append(base, b)
+		}
+	}
+	in.Base = base
+	delete(in.SyncKernel, 2)
+	in.DroppedRuns = []string{"uni_p01_s81920", "base_p04_s655360", "ksync_p02_s0"}
+
+	m, err := Fit(in, DefaultOptions(l2Bytes))
+	if err != nil {
+		t.Fatalf("degraded inputs must still fit: %v", err)
+	}
+	d := m.Degradation
+	if !d.Degraded {
+		t.Fatal("losses not reported as degradation")
+	}
+	if len(d.MissingUniSizes) != 1 || d.MissingUniSizes[0] != lost {
+		t.Errorf("MissingUniSizes = %v, want [%d]", d.MissingUniSizes, lost)
+	}
+	if len(d.MissingProcs) != 1 || d.MissingProcs[0] != 4 {
+		t.Errorf("MissingProcs = %v, want [4]", d.MissingProcs)
+	}
+	// s0/8 = the lost 80 KiB point: the n=8 coherence estimate now rests on
+	// interpolation between 32 KiB and 160 KiB.
+	found := false
+	for _, n := range d.InterpolatedCoh {
+		if n == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("InterpolatedCoh = %v, want to include 8", d.InterpolatedCoh)
+	}
+	interp := false
+	for _, bp := range m.Breakdown() {
+		if bp.Procs == 8 && bp.Interpolated {
+			interp = true
+		}
+	}
+	if !interp {
+		t.Error("breakdown point n=8 not marked interpolated")
+	}
+	if len(d.DroppedRuns) != 3 {
+		t.Errorf("DroppedRuns = %v", d.DroppedRuns)
+	}
+	noted := false
+	for _, n := range d.Notes {
+		if strings.Contains(n, "sync kernel missing at 2") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Errorf("Notes = %v, want a missing-sync-kernel note", d.Notes)
+	}
+	if s := d.Summary(); s == "" || !strings.Contains(s, "degraded fit") {
+		t.Errorf("summary %q", s)
+	}
+}
+
+// TestFitRefusalsAreTyped verifies every below-minimum refusal satisfies
+// errors.Is(err, ErrInsufficientInputs), so callers can distinguish "give me
+// more data" from "your data is inconsistent".
+func TestFitRefusalsAreTyped(t *testing.T) {
+	cases := map[string]func() (Inputs, Options){
+		"too few uniproc runs": func() (Inputs, Options) {
+			in := synthInputs()
+			in.Uniproc = in.Uniproc[:2]
+			return in, DefaultOptions(l2Bytes)
+		},
+		"below least-squares minimum": func() (Inputs, Options) {
+			// Overflow threshold above every size: < 2 points for t2/tm.
+			return synthInputs(), DefaultOptions(64 << 20)
+		},
+		"no uniprocessor base run": func() (Inputs, Options) {
+			in := synthInputs()
+			var base []Measurement
+			for _, b := range in.Base {
+				if b.Procs != 1 {
+					base = append(base, b)
+				}
+			}
+			in.Base = base
+			return in, DefaultOptions(l2Bytes)
+		},
+		"no sync kernels": func() (Inputs, Options) {
+			in := synthInputs()
+			in.SyncKernel = nil
+			return in, DefaultOptions(l2Bytes)
+		},
+		"no spin kernel": func() (Inputs, Options) {
+			in := synthInputs()
+			in.SpinCPI = 0
+			return in, DefaultOptions(l2Bytes)
+		},
+	}
+	for name, build := range cases {
+		in, opt := build()
+		_, err := Fit(in, opt)
+		if err == nil {
+			t.Errorf("%s: fit accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrInsufficientInputs) {
+			t.Errorf("%s: error %v does not wrap ErrInsufficientInputs", name, err)
+		}
+	}
+	// An inconsistency (not a shortage) must NOT wear the insufficiency tag.
+	if _, err := Fit(synthInputs(), Options{}); err == nil || errors.Is(err, ErrInsufficientInputs) {
+		t.Errorf("L2Bytes=0 error mis-typed: %v", err)
+	}
+}

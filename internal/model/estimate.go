@@ -1,7 +1,6 @@
 package model
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -18,10 +17,14 @@ type PointEstimate struct {
 
 	TmN float64 // tm(n): main-memory penalty at this machine size
 
-	Coh      float64 // estimated coherence miss rate, Coh(s0, n)
-	L2HitInf float64 // L2hitr∞(s0, n): infinite-L2 hit rate
-	CPIInf   float64 // cpi∞(s0, n): CPI without caching-space limits (Eq. 8)
+	Coh float64 // estimated coherence miss rate, Coh(s0, n)
+	// CohInterpolated flags that the hit-rate curve had no measured sample
+	// near s0/n, so Coh rests on interpolation across a gap (a degraded
+	// input set).
+	CohInterpolated bool
 
+	L2HitInf      float64 // L2hitr∞(s0, n): infinite-L2 hit rate
+	CPIInf        float64 // cpi∞(s0, n): CPI without caching-space limits (Eq. 8)
 	L1HitInfInf   float64 // L1hitr(s0/n, 1)
 	MemFracInfInf float64 // m(s0/n, 1)
 	CPIInfInf     float64 // cpi∞,∞(s0, n): CPI without cache limits or MP factors
@@ -57,6 +60,11 @@ type Model struct {
 	CpiImb float64 // spin-loop CPI from the spin kernel
 
 	Points []PointEstimate // ascending by processor count; Points[0].Procs == 1
+
+	// Degradation records what the fit had to do without (missing sizes,
+	// missing processor counts, interpolated coherence points, dropped
+	// runs). Its zero value means the input set was complete.
+	Degradation Degradation
 
 	hitCurve *stats.Interpolator // L2hitr(s, 1)
 	l1Curve  *stats.Interpolator // L1hitr(s, 1)
@@ -152,7 +160,8 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 			}
 		}
 		if len(over) < 2 {
-			return 0, 0, 0, fmt.Errorf("model: only %d uniproc runs overflow the L2 (threshold %d bytes); need ≥ 2", len(over), overflowAt)
+			return 0, 0, 0, fmt.Errorf("model: only %d uniproc runs overflow the L2 (threshold %d bytes); need ≥ 2 for the t2/tm least squares: %w",
+				len(over), overflowAt, ErrInsufficientInputs)
 		}
 		// A measurement set with essentially no cache misses (e.g. a
 		// compute/barrier-only segment) cannot identify t2/tm — and does
@@ -305,8 +314,12 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 
 		sOverN := float64(s0) / float64(b.Procs)
 
-		// Quantities independent of tm(n).
+		// Quantities independent of tm(n). Coh reads the uniprocessor
+		// hit-rate curve at s0/n; with a degraded input set there may be no
+		// measured sample near that size, and the flag records that the
+		// estimate rests on interpolation across the gap.
 		pe.Coh = stats.Clamp(m.hitCurve.At(sOverN)-b.L2HitRate, 0, 1)
+		pe.CohInterpolated = b.Procs > 1 && !hasSampleNear(uni, sOverN)
 		pe.L2HitInf = stats.Clamp(1-m.Compulsory-pe.Coh, 0, 1)
 		pe.L1HitInfInf = m.l1Curve.At(sOverN)
 		pe.MemFracInfInf = m.mCurve.At(sOverN)
@@ -397,8 +410,9 @@ func Fit(in Inputs, opt Options) (*Model, error) {
 		m.Points = append(m.Points, pe)
 	}
 	if m.Points[0].Procs != 1 {
-		return nil, errors.New("model: base runs must include a uniprocessor run")
+		return nil, fmt.Errorf("model: base runs must include a uniprocessor run: %w", ErrInsufficientInputs)
 	}
+	m.Degradation = degradationOf(&in, uni, base, m.Points)
 	return m, nil
 }
 

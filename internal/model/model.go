@@ -100,6 +100,21 @@ type Inputs struct {
 	SyncKernel map[int]Measurement
 	// SpinCPI is cpi_imb measured from the spin kernel (SpinnerCPI).
 	SpinCPI float64
+
+	// The fields below describe what the campaign *planned* to measure, so
+	// Fit can record how degraded the achieved input set is. All optional:
+	// empty means "no expectation", and the fit reports no degradation
+	// beyond what it detects itself (interpolated coherence points).
+
+	// ExpectedUniSizes lists the planned uniprocessor data-set sizes
+	// (requested, pre-grid-quantization), excluding sizes the application
+	// legitimately cannot build.
+	ExpectedUniSizes []uint64
+	// ExpectedProcs lists the planned base-run processor counts.
+	ExpectedProcs []int
+	// DroppedRuns lists run identities the campaign quarantined or
+	// permanently failed, carried into the degradation record.
+	DroppedRuns []string
 }
 
 // Options configures Fit.
@@ -150,10 +165,10 @@ func (in *Inputs) validate(opt Options) error {
 		return errors.New("model: Options.L2Bytes must be positive")
 	}
 	if len(in.Base) == 0 {
-		return errors.New("model: no base-size runs")
+		return fmt.Errorf("model: no base-size runs: %w", ErrInsufficientInputs)
 	}
 	if len(in.Uniproc) < 3 {
-		return fmt.Errorf("model: %d uniprocessor runs; need ≥ 3 (a small run plus ≥ 2 L2-overflowing sizes)", len(in.Uniproc))
+		return fmt.Errorf("model: %d uniprocessor runs; need ≥ 3 (a small run plus ≥ 2 L2-overflowing sizes): %w", len(in.Uniproc), ErrInsufficientInputs)
 	}
 	for i, m := range in.Base {
 		if m.Procs <= 0 || m.Instr == 0 {
@@ -168,16 +183,16 @@ func (in *Inputs) validate(opt Options) error {
 		haveUni = true
 	}
 	if !haveUni {
-		return errors.New("model: no uniprocessor runs")
+		return fmt.Errorf("model: no uniprocessor runs: %w", ErrInsufficientInputs)
 	}
 	if in.Base[0].DataBytes == 0 {
 		return errors.New("model: base runs lack data sizes")
 	}
 	if in.SpinCPI <= 0 {
-		return errors.New("model: SpinCPI missing (run the spin kernel)")
+		return fmt.Errorf("model: SpinCPI missing (run the spin kernel): %w", ErrInsufficientInputs)
 	}
 	if len(in.SyncKernel) == 0 {
-		return errors.New("model: sync kernel runs missing")
+		return fmt.Errorf("model: sync kernel runs missing: %w", ErrInsufficientInputs)
 	}
 	return nil
 }

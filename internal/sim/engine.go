@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -49,6 +50,15 @@ type segRegion struct {
 // ground truth. The simulation is deterministic: the same (cfg, prog) pair
 // always produces an identical Result, regardless of GOMAXPROCS.
 func Run(cfg machine.Config, prog *Program) (*Result, error) {
+	return RunContext(context.Background(), cfg, prog)
+}
+
+// RunContext is Run with cooperative cancellation. The engine checks the
+// context at every barrier region boundary — the natural quiescent points —
+// and returns the context's error, without a result, once it is canceled or
+// its deadline passes. A run that completes its last region wins the race
+// and returns normally.
+func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -88,7 +98,11 @@ func Run(cfg machine.Config, prog *Program) (*Result, error) {
 	e.mem.HomeOf(prog.LockAddr(), 0)
 
 	for i := range prog.Regions() {
-		e.runRegion(&prog.Regions()[i])
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run of %s stopped after %d of %d regions: %w",
+				prog.Name, i, len(prog.Regions()), err)
+		}
+		e.runRegion(ctx, &prog.Regions()[i])
 	}
 	return e.result(), nil
 }
@@ -102,7 +116,7 @@ func log2(v int) uint {
 }
 
 // runRegion executes one barrier-delimited region.
-func (e *engine) runRegion(r *Region) {
+func (e *engine) runRegion(ctx context.Context, r *Region) {
 	// Phase 0 — page-home assignment, sequentially in processor order so
 	// first-touch placement is deterministic (ties between processors that
 	// both first-touch a page in this region go to the lower processor ID).
@@ -118,6 +132,9 @@ func (e *engine) runRegion(r *Region) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return // canceled mid-region: RunContext discards the region anyway
+			}
 			outs[p] = e.simulateStream(p, &r.Streams[p])
 		}(p)
 	}

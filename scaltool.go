@@ -27,10 +27,12 @@ package scaltool
 
 import (
 	"fmt"
+	"time"
 
 	"scaltool/internal/apps"
 	"scaltool/internal/campaign"
 	"scaltool/internal/counters"
+	"scaltool/internal/health"
 	"scaltool/internal/machine"
 	"scaltool/internal/model"
 	"scaltool/internal/perftools"
@@ -108,6 +110,11 @@ type (
 	Scenario = whatif.Scenario
 	// Prediction is a what-if outcome for one processor count.
 	Prediction = whatif.Prediction
+	// HealthReport records every repair, retry, quarantine, and permanent
+	// failure of a campaign's fault-tolerance layer.
+	HealthReport = health.Report
+	// Degradation states how far a fit ran below its full input set.
+	Degradation = model.Degradation
 )
 
 // Standard what-if scenarios.
@@ -126,7 +133,11 @@ var (
 type Analysis struct {
 	Plan     Plan
 	Campaign *CampaignResult
-	Model    *Model
+	// Health is the campaign's fault-tolerance record (never nil). A clean
+	// campaign has Health.Clean() == true; after faults, Model.Degradation
+	// states what the fit had to do without.
+	Health *HealthReport
+	Model  *Model
 }
 
 // Options tunes Analyze.
@@ -135,6 +146,11 @@ type Options struct {
 	S0 uint64
 	// Workers bounds concurrent simulated runs (0 = GOMAXPROCS).
 	Workers int
+	// MaxRetries bounds re-attempts per run after a transient failure or a
+	// blown per-attempt deadline (0 = one attempt per run).
+	MaxRetries int
+	// RunTimeout is the per-attempt deadline (0 = none).
+	RunTimeout time.Duration
 	// Model overrides the model options (zero value = defaults for the
 	// machine's L2).
 	Model ModelOptions
@@ -153,7 +169,12 @@ func AnalyzeOpts(cfg MachineConfig, app App, maxProcs int, opts Options) (*Analy
 	if err != nil {
 		return nil, err
 	}
-	rn := &campaign.Runner{Cfg: cfg, Workers: opts.Workers}
+	rn := &campaign.Runner{
+		Cfg: cfg, Workers: opts.Workers,
+		MaxRetries: opts.MaxRetries,
+		RetryBase:  100 * time.Millisecond,
+		RunTimeout: opts.RunTimeout,
+	}
 	res, err := rn.Run(app, plan)
 	if err != nil {
 		return nil, fmt.Errorf("scaltool: campaign for %s: %w", app.Name(), err)
@@ -168,7 +189,7 @@ func AnalyzeOpts(cfg MachineConfig, app App, maxProcs int, opts Options) (*Analy
 	if err != nil {
 		return nil, fmt.Errorf("scaltool: fitting %s: %w", app.Name(), err)
 	}
-	return &Analysis{Plan: plan, Campaign: res, Model: m}, nil
+	return &Analysis{Plan: plan, Campaign: res, Health: res.Health, Model: m}, nil
 }
 
 // Breakdown returns the Figure 6/9/12 curves: per processor count, the

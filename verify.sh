@@ -16,6 +16,9 @@ go vet ./...
 echo "==> go test -race (sim, campaign)"
 go test -race ./internal/sim/... ./internal/campaign/...
 
+echo "==> chaos smoke (fault-injected campaigns under the race detector)"
+go test -run Chaos -race ./internal/campaign/...
+
 echo "==> scalvet"
 go run ./cmd/scalvet ./...
 
