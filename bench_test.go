@@ -12,6 +12,7 @@ package scaltool_test
 // Substrate microbenchmarks (cache, directory, simulator, campaign) follow.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"scaltool/internal/directory"
 	"scaltool/internal/experiments"
 	"scaltool/internal/machine"
+	"scaltool/internal/obs"
 	"scaltool/internal/sim"
 )
 
@@ -175,4 +177,38 @@ func BenchmarkCampaign(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkObsSimRun quantifies the observability layer's overhead on the
+// hot path (one full Swim run at 8 processors, as BenchmarkSimulatorRun):
+// "disabled" runs with a bare context, "enabled" with a live tracer,
+// metrics registry, and per-run span. ISSUE acceptance: enabled must stay
+// within 3% of disabled (BENCH_obs.json records a measured pair).
+func BenchmarkObsSimRun(b *testing.B) {
+	cfg := machine.ScaledOrigin()
+	app, err := apps.ByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, ctx context.Context) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prog, err := app.Build(cfg, 8, app.DefaultBytes(cfg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.RunContext(ctx, cfg, prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, context.Background())
+	})
+	b.Run("enabled", func(b *testing.B) {
+		o := &obs.Observer{Trace: obs.NewTracer(), Metrics: obs.NewMetrics()}
+		run(b, obs.NewContext(context.Background(), o))
+	})
 }

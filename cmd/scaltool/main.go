@@ -15,11 +15,21 @@
 // -run-timeout set the retry budget and per-attempt deadline of every run,
 // -fault-spec injects deterministic faults for chaos drills, -health-json
 // writes the machine-readable health report.
+//
+// Observability flags (see README's Observability section): -trace-out
+// writes a Chrome trace_event file (campaign/run/attempt/fit spans plus the
+// base runs' simulated per-processor timelines) for chrome://tracing or
+// Perfetto, -metrics-out writes a Prometheus text-format snapshot,
+// -log-level/-log-json control the structured stderr log, and -pprof-addr
+// serves net/http/pprof with /metrics and /debug/vars on the side.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the default mux
 	"os"
 	"time"
 
@@ -29,6 +39,7 @@ import (
 	"scaltool/internal/health"
 	"scaltool/internal/machine"
 	"scaltool/internal/model"
+	"scaltool/internal/obs"
 	"scaltool/internal/perftools"
 	"scaltool/internal/table"
 	"scaltool/internal/whatif"
@@ -96,6 +107,12 @@ type common struct {
 	maxRetries *int
 	runTimeout *time.Duration
 	healthJSON *string
+
+	traceOut   *string
+	metricsOut *string
+	logLevel   *string
+	logJSON    *bool
+	pprofAddr  *string
 }
 
 func commonFlags(name string) *common {
@@ -113,7 +130,67 @@ func commonFlags(name string) *common {
 		maxRetries: fs.Int("max-retries", 2, "retries per run after a transient failure or blown deadline"),
 		runTimeout: fs.Duration("run-timeout", 0, "per-attempt run deadline (0 = none)"),
 		healthJSON: fs.String("health-json", "", "write the machine-readable health report to this file"),
+		traceOut:   fs.String("trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)"),
+		metricsOut: fs.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file"),
+		logLevel:   fs.String("log-level", "warn", "structured log level: debug | info | warn | error"),
+		logJSON:    fs.Bool("log-json", false, "emit the structured log as JSON lines"),
+		pprofAddr:  fs.String("pprof-addr", "", "serve net/http/pprof, /metrics, and /debug/vars on this address"),
 	}
+}
+
+// observe builds the command's observer from the flags and installs it in a
+// context. The returned flush writes the -trace-out and -metrics-out files;
+// call it once the command's work is done.
+func (c *common) observe() (context.Context, func() error, error) {
+	level, err := obs.ParseLevel(*c.logLevel)
+	if err != nil {
+		return nil, nil, err
+	}
+	o := &obs.Observer{
+		Metrics: obs.NewMetrics(),
+		Logger:  obs.NewLogger(os.Stderr, level, *c.logJSON),
+	}
+	if *c.traceOut != "" {
+		o.Trace = obs.NewTracer()
+	}
+	if *c.pprofAddr != "" {
+		o.Metrics.PublishExpvar("scaltool") // /debug/vars
+		mt := o.Metrics
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := mt.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		addr := *c.pprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "scaltool: pprof server:", err)
+			}
+		}()
+	}
+	flush := func() error {
+		if *c.traceOut != "" {
+			if err := o.Trace.WriteFile(*c.traceOut); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+		}
+		if *c.metricsOut != "" {
+			f, err := os.Create(*c.metricsOut)
+			if err != nil {
+				return fmt.Errorf("metrics: %w", err)
+			}
+			if err := o.Metrics.WritePrometheus(f); err != nil {
+				f.Close()
+				return fmt.Errorf("metrics: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("metrics: %w", err)
+			}
+		}
+		return nil
+	}
+	return obs.NewContext(context.Background(), o), flush, nil
 }
 
 // runner builds the fault-tolerant campaign runner the flags describe.
@@ -243,14 +320,21 @@ func fitFor(c *common) (*campaign.Result, *model.Model, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := rn.Run(app, plan)
+	ctx, flush, err := c.observe()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := rn.Execute(ctx, app, plan)
 	if err != nil {
 		return nil, nil, err
 	}
 	opts := model.DefaultOptions(cfg.L2.SizeBytes)
 	opts.RawTmN = *c.rawTm
-	m, err := res.Fit(opts)
+	m, err := res.FitContext(ctx, opts)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := flush(); err != nil {
 		return nil, nil, err
 	}
 	return res, m, c.reportHealth(res.Health)
@@ -315,7 +399,11 @@ func cmdMeasure(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := rn.Run(app, plan)
+	ctx, flush, err := c.observe()
+	if err != nil {
+		return err
+	}
+	res, err := rn.Execute(ctx, app, plan)
 	if err != nil {
 		return err
 	}
@@ -325,6 +413,9 @@ func cmdMeasure(args []string) error {
 	}
 	fmt.Printf("%d report files written to %s (plan: %d runs; kernels shared per machine)\n",
 		nFiles, *out, plan.Cost().Runs)
+	if err := flush(); err != nil {
+		return err
+	}
 	return c.reportHealth(res.Health)
 }
 
@@ -342,8 +433,15 @@ func cmdFit(args []string) error {
 	}
 	opts := model.DefaultOptions(cfg.L2.SizeBytes)
 	opts.RawTmN = *c.rawTm
-	m, hr, err := campaign.FitDirTolerant(*dir, opts)
+	ctx, flush, err := c.observe()
 	if err != nil {
+		return err
+	}
+	m, hr, err := campaign.FitDirTolerantContext(ctx, *dir, opts)
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
 		return err
 	}
 	if err := c.reportHealth(hr); err != nil {

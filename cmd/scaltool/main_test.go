@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestCmdApps(t *testing.T) {
 	if err := cmdApps(); err != nil {
@@ -41,6 +47,142 @@ func TestCmdWhatif(t *testing.T) {
 	}
 	if err := cmdWhatif([]string{"-app", "swim", "-procs", "4", "-tmx", "-3"}); err == nil {
 		t.Error("negative scale accepted")
+	}
+}
+
+// TestObsEndToEnd runs a tiny campaign with -trace-out and -metrics-out and
+// validates both artifacts round-trip: the trace is chrome://tracing JSON
+// with campaign→run→attempt nesting plus per-processor sim timelines, and
+// the metrics snapshot is Prometheus text format with ≥ 10 distinct series.
+func TestObsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	err := cmdAnalyze([]string{"-app", "swim", "-procs", "4",
+		"-trace-out", tracePath, "-metrics-out", metricsPath, "-log-level", "error"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Trace file ---
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int64          `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not trace_event JSON: %v", err)
+	}
+	type span struct {
+		ts, end float64
+		tid     int64
+	}
+	var campaigns, runs, attempts []span
+	names := map[string]int{}
+	simProcs := 0
+	for _, e := range trace.TraceEvents {
+		names[e.Name]++
+		s := span{ts: e.TS, end: e.TS + e.Dur, tid: e.TID}
+		switch e.Name {
+		case "campaign":
+			campaigns = append(campaigns, s)
+		case "run":
+			runs = append(runs, s)
+		case "attempt":
+			attempts = append(attempts, s)
+		}
+		if e.Ph == "M" && e.Name == "thread_name" {
+			if n, _ := e.Args["name"].(string); strings.HasPrefix(n, "cpu ") {
+				simProcs++
+			}
+		}
+	}
+	if len(campaigns) != 1 {
+		t.Fatalf("campaign spans = %d, want 1", len(campaigns))
+	}
+	// A -procs 4 plan has 3 base + 3 ksync + uni runs + 1 kspin jobs.
+	if len(runs) < 8 {
+		t.Fatalf("run spans = %d, want ≥ 8", len(runs))
+	}
+	if len(attempts) < len(runs) {
+		t.Fatalf("attempt spans = %d for %d runs", len(attempts), len(runs))
+	}
+	if names["sim.run"] < len(runs) {
+		t.Errorf("sim.run spans = %d for %d runs", names["sim.run"], len(runs))
+	}
+	if names["model.fit"] != 1 {
+		t.Errorf("model.fit spans = %d, want 1", names["model.fit"])
+	}
+	// Nesting: every run sits inside the campaign span; every attempt sits
+	// inside a run span on the same lane.
+	const slack = 1e3 // µs; span timestamps are captured a hair apart
+	c := campaigns[0]
+	for _, r := range runs {
+		if r.ts < c.ts-slack || r.end > c.end+slack {
+			t.Errorf("run [%g,%g] outside campaign [%g,%g]", r.ts, r.end, c.ts, c.end)
+		}
+	}
+	for _, a := range attempts {
+		ok := false
+		for _, r := range runs {
+			if a.tid == r.tid && a.ts >= r.ts-slack && a.end <= r.end+slack {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("attempt [%g,%g] tid %d not nested in any run span", a.ts, a.end, a.tid)
+		}
+	}
+	// The base runs' simulated per-processor timelines: the 1-, 2-, and
+	// 4-proc base runs contribute 7 cpu threads and busy slices.
+	if simProcs < 7 {
+		t.Errorf("sim timeline cpu threads = %d, want ≥ 7", simProcs)
+	}
+	if names["busy"] == 0 {
+		t.Error("no busy slices in the sim timelines")
+	}
+
+	// --- Metrics file ---
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	for _, line := range strings.Split(string(mdata), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed series line %q", line)
+		}
+		series[fields[0]] = true
+	}
+	if len(series) < 10 {
+		t.Fatalf("metrics snapshot has %d distinct series, want ≥ 10:\n%s", len(series), mdata)
+	}
+	for _, want := range []string{
+		"scaltool_campaign_runs_started_total",
+		"scaltool_sim_runs_total",
+		"scaltool_model_fits_total",
+	} {
+		if !series[want] {
+			t.Errorf("metrics snapshot missing %s", want)
+		}
 	}
 }
 

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd flags spans obtained from a StartSpan call that are never ended.
+// An unended span never emits its trace event, so the lane it occupies shows
+// a hole exactly where the interesting (usually failing) work happened — the
+// worst possible place for observability to go dark.
+//
+// StartSpan is matched by shape, not import path: any function named
+// StartSpan returning (context.Context, *Span). The span is considered ended
+// when its End is deferred in the same function (directly or inside a
+// deferred closure); failing that, every return statement after the call
+// must be preceded by an End call. The check is positional, not a full
+// control-flow analysis — `defer span.End()` immediately after StartSpan is
+// the idiom that always satisfies it.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "flags StartSpan spans with no deferred or per-return-path End",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil {
+			checkSpanBody(pass, body)
+		}
+		return true
+	})
+}
+
+// shallowInspect walks stmts of one function body without descending into
+// nested function literals (each literal is checked as its own body).
+func shallowInspect(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// checkSpanBody verifies every StartSpan result inside one function body.
+func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
+	type site struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var sites []site
+	shallowInspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isStartSpanCall(pass, call) {
+			return true
+		}
+		if len(as.Lhs) != 2 {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "StartSpan result discarded; keep the span and defer span.End()")
+			return true
+		}
+		if obj := pass.Pkg.Info.ObjectOf(id); obj != nil {
+			sites = append(sites, site{pos: call.Pos(), obj: obj})
+		}
+		return true
+	})
+
+	for _, s := range sites {
+		if hasDeferredEnd(pass, body, s.obj) {
+			continue
+		}
+		var ends []token.Pos
+		shallowInspect(body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isEndCallOn(pass, call, s.obj) {
+				ends = append(ends, call.Pos())
+			}
+			return true
+		})
+		var missing bool
+		var returns int
+		shallowInspect(body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || ret.Pos() <= s.pos {
+				return true
+			}
+			returns++
+			if !anyBetween(ends, s.pos, ret.Pos()) {
+				missing = true
+			}
+			return true
+		})
+		switch {
+		case returns == 0 && !anyBetween(ends, s.pos, body.End()):
+			pass.Reportf(s.pos, "span is never ended; defer span.End() right after StartSpan")
+		case missing:
+			pass.Reportf(s.pos, "span is not ended on every return path; prefer defer span.End()")
+		}
+	}
+}
+
+// hasDeferredEnd reports whether the body defers obj.End(), directly or
+// inside a deferred closure.
+func hasDeferredEnd(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	shallowInspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		if isEndCallOn(pass, ds.Call, obj) {
+			found = true
+			return false
+		}
+		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isEndCallOn(pass, call, obj) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isEndCallOn reports whether call is obj.End().
+func isEndCallOn(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.Pkg.Info.ObjectOf(id) == obj
+}
+
+// isStartSpanCall matches the StartSpan shape: a call to a function named
+// StartSpan whose results are (context.Context, *Span).
+func isStartSpanCall(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	}
+	if name != "StartSpan" {
+		return false
+	}
+	tup, ok := pass.TypeOf(call).(*types.Tuple)
+	if !ok || tup.Len() != 2 || !isContextType(tup.At(0).Type()) {
+		return false
+	}
+	ptr, ok := tup.At(1).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// anyBetween reports whether any pos lies strictly between lo and hi.
+func anyBetween(ps []token.Pos, lo, hi token.Pos) bool {
+	for _, p := range ps {
+		if p > lo && p < hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestSpanEnd(t *testing.T) { testFixture(t, SpanEnd, "spanend") }
+
+func TestSpanEndRegistered(t *testing.T) {
+	for _, a := range All() {
+		if a == SpanEnd {
+			return
+		}
+	}
+	t.Fatal("spanend is not in the default analyzer set")
+}

@@ -1,0 +1,72 @@
+// Fixture for the spanend analyzer. The local StartSpan/Span pair mirrors
+// the shape of scaltool/internal/obs (fixtures load stdlib-only, so the
+// analyzer matches by shape, not import path).
+package spanend
+
+import "context"
+
+type Span struct{}
+
+func (s *Span) End()                    {}
+func (s *Span) SetAttr(k string, v int) {}
+
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+func work() error { return nil }
+
+func goodDefer(ctx context.Context) {
+	ctx, span := StartSpan(ctx, "good")
+	defer span.End()
+	_ = ctx
+}
+
+func goodDeferredClosure(ctx context.Context) error {
+	_, span := StartSpan(ctx, "good-closure")
+	defer func() {
+		span.SetAttr("k", 1)
+		span.End()
+	}()
+	return work()
+}
+
+func goodEveryPath(ctx context.Context) error {
+	_, span := StartSpan(ctx, "good-paths")
+	if err := work(); err != nil {
+		span.End()
+		return err
+	}
+	span.End()
+	return nil
+}
+
+func goodNoReturn(ctx context.Context) {
+	_, span := StartSpan(ctx, "good-fallthrough")
+	span.End()
+}
+
+func badNeverEnded(ctx context.Context) {
+	_, span := StartSpan(ctx, "bad") // want "span is never ended"
+	_ = span
+}
+
+func badEarlyReturn(ctx context.Context) error {
+	_, span := StartSpan(ctx, "bad-path") // want "not ended on every return path"
+	if err := work(); err != nil {
+		return err
+	}
+	span.End()
+	return nil
+}
+
+func badDiscarded(ctx context.Context) {
+	_, _ = StartSpan(ctx, "bad-discard") // want "StartSpan result discarded"
+}
+
+func badInsideLiteral(ctx context.Context) func() {
+	return func() {
+		_, span := StartSpan(ctx, "bad-lit") // want "span is never ended"
+		_ = span
+	}
+}

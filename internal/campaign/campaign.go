@@ -27,6 +27,7 @@ import (
 	"scaltool/internal/health"
 	"scaltool/internal/machine"
 	"scaltool/internal/model"
+	"scaltool/internal/obs"
 	"scaltool/internal/perftools"
 	"scaltool/internal/sim"
 )
@@ -172,11 +173,17 @@ func (r *Result) addExpectations(in *model.Inputs) {
 
 // Fit runs the model on the campaign's measurements.
 func (r *Result) Fit(opts model.Options) (*model.Model, error) {
+	return r.FitContext(context.Background(), opts)
+}
+
+// FitContext is Fit under a context, so an observer installed there
+// (internal/obs) sees the fit's span, metrics, and degradation log lines.
+func (r *Result) FitContext(ctx context.Context, opts model.Options) (*model.Model, error) {
 	in, err := r.Inputs()
 	if err != nil {
 		return nil, err
 	}
-	return model.Fit(in, opts)
+	return model.FitContext(ctx, in, opts)
 }
 
 // MeasuredMP returns the speedshop-measured MP cycles per processor count —
@@ -253,6 +260,12 @@ func (rn *Runner) Run(app apps.App, plan Plan) (*Result, error) {
 // Execute runs the plan for an application on a worker pool. Results are
 // deterministic regardless of worker count, including under fault injection.
 //
+// An observer carried in ctx (internal/obs) sees the campaign: a "campaign"
+// span with one detached "run" lane per job and an "attempt" span per try,
+// counters for runs started/retried/failed/quarantined plus per-severity
+// health findings, an attempt-latency histogram, and structured log lines
+// for every health finding, retry decision, and permanent failure.
+//
 // Execute is the fault-tolerant path: failed attempts are retried with
 // exponential backoff (MaxRetries, RetryBase), each attempt runs under
 // RunTimeout, and every accepted report passes health.Sanitize. A run that
@@ -276,7 +289,8 @@ func (rn *Runner) Execute(ctx context.Context, app apps.App, plan Plan) (*Result
 		SyncKernels: map[int]*sim.Result{},
 		Health:      health.NewReport(),
 	}
-	res.Health.Add(health.CheckStructure(plan.ProcCounts, append([]uint64{plan.S0}, plan.UniSizes...))...)
+	structural := health.CheckStructure(plan.ProcCounts, append([]uint64{plan.S0}, plan.UniSizes...))
+	res.Health.Add(structural...)
 
 	spinProcs := rn.SpinKernelProcs
 	if spinProcs == 0 {
@@ -297,6 +311,14 @@ func (rn *Runner) Execute(ctx context.Context, app apps.App, plan Plan) (*Result
 		addJob(jobUni, 1, s)
 	}
 	addJob(jobSpin, spinProcs, 0)
+
+	ctx, span := obs.StartSpan(ctx, "campaign",
+		obs.A("app", plan.App), obs.A("s0", plan.S0),
+		obs.A("max_procs", plan.ProcCounts[len(plan.ProcCounts)-1]),
+		obs.A("jobs", len(jobs)))
+	defer span.End()
+	obs.Log(ctx).Info("campaign starting", "app", plan.App, "s0", plan.S0, "jobs", len(jobs))
+	logFindings(ctx, structural)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -329,6 +351,7 @@ dispatch:
 	criticalErr := ex.criticalErr
 	ex.mu.Unlock()
 	if criticalErr != nil {
+		obs.Log(ctx).Error("campaign aborted", "app", plan.App, "err", criticalErr)
 		return nil, criticalErr
 	}
 	if err := ctx.Err(); err != nil {
@@ -338,6 +361,10 @@ dispatch:
 	if len(res.UniRuns) < 3 {
 		return nil, fmt.Errorf("campaign: only %d usable uniprocessor runs (app grid too coarse for the plan)", len(res.UniRuns))
 	}
+	_, repairs, quarantines := res.Health.Counts()
+	span.SetAttr("repairs", repairs)
+	span.SetAttr("quarantines", quarantines)
+	obs.Log(ctx).Info("campaign finished", "app", plan.App, "health", res.Health.Summary())
 	return res, nil
 }
 
@@ -360,7 +387,17 @@ func criticalJob(j job) bool {
 }
 
 // run executes one job: build, attempt (with retries), sanitize, record.
+// Each job runs on its own detached trace lane (workers interleave) with the
+// run identity threaded into the context's logger.
 func (ex *executor) run(ctx context.Context, j job) {
+	ctx, span := obs.StartSpan(obs.Detach(ctx), "run",
+		obs.A("id", j.id), obs.A("kind", kindNames[j.kind]),
+		obs.A("procs", j.procs), obs.A("size", j.size))
+	defer span.End()
+	ctx = obs.WithLogger(ctx, obs.Log(ctx).With("run", j.id))
+	if mt := obs.Meter(ctx); mt != nil {
+		mt.Counter("scaltool_campaign_runs_started_total", "campaign runs dispatched").Inc()
+	}
 	rn := ex.rn
 	var prog *sim.Program
 	var err error
@@ -376,34 +413,54 @@ func (ex *executor) run(ctx context.Context, j job) {
 		// A size too small for the app's grid is an expected skip for
 		// uniprocessor fractions; the model interpolates across it.
 		if j.kind == jobUni {
+			span.SetAttr("skipped", true)
+			obs.Log(ctx).Debug("size below the app's grid; skipped", "size", j.size)
 			ex.mu.Lock()
 			ex.res.Skipped = append(ex.res.Skipped, j.size)
 			ex.mu.Unlock()
 			return
 		}
-		ex.fail(j, fmt.Errorf("campaign: building %s: %w", j.id, err))
+		ex.fail(ctx, j, fmt.Errorf("campaign: building %s: %w", j.id, err))
 		return
 	}
 	for attempt := 0; ; attempt++ {
 		out, err := ex.attempt(ctx, j, prog, attempt)
 		if err == nil {
-			ex.accept(j, out)
+			span.SetAttr("attempts", attempt+1)
+			ex.accept(ctx, j, out)
 			return
 		}
 		if ctx.Err() != nil || !retryable(err) || attempt >= rn.MaxRetries {
-			ex.fail(j, err)
+			span.SetAttr("attempts", attempt+1)
+			ex.fail(ctx, j, err)
 			return
 		}
 		backoff := rn.backoffFor(j.id, attempt)
 		ex.res.Health.AddRetry(j.id, attempt, backoff, err)
+		if mt := obs.Meter(ctx); mt != nil {
+			mt.Counter("scaltool_campaign_runs_retried_total", "campaign attempts retried after a retryable failure").Inc()
+		}
+		obs.Log(ctx).Warn("retrying run", "attempt", attempt, "backoff", backoff, "err", err)
 		sleepCtx(ctx, backoff)
 	}
 }
 
 // attempt executes one try of one run under the per-attempt deadline,
 // consulting the injector for transient failures and hangs.
-func (ex *executor) attempt(ctx context.Context, j job, prog *sim.Program, attempt int) (*sim.Result, error) {
+func (ex *executor) attempt(ctx context.Context, j job, prog *sim.Program, attempt int) (_ *sim.Result, err error) {
 	rn := ex.rn
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "attempt", obs.A("n", attempt))
+	defer span.End()
+	defer func() { // runs before span.End (LIFO), so the span sees the error
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		if mt := obs.Meter(ctx); mt != nil {
+			mt.Histogram("scaltool_campaign_attempt_seconds", "wall-clock latency of one run attempt",
+				obs.LatencyBuckets).Observe(time.Since(start).Seconds())
+		}
+	}()
 	actx := ctx
 	if rn.RunTimeout > 0 {
 		var cancel context.CancelFunc
@@ -431,21 +488,31 @@ func (ex *executor) attempt(ctx context.Context, j job, prog *sim.Program, attem
 
 // accept perturbs (under injection), sanitizes, and records a successful
 // run. A report that fails sanitization is quarantined, not recorded.
-func (ex *executor) accept(j job, out *sim.Result) {
+func (ex *executor) accept(ctx context.Context, j job, out *sim.Result) {
 	rep := &out.Report
 	if ex.rn.Inject != nil {
 		rep, _ = ex.rn.Inject.PerturbReport(j.id, rep)
 	}
 	clean, findings := health.Sanitize(j.id, rep, ex.rn.minCPI())
 	ex.res.Health.Add(findings...)
+	logFindings(ctx, findings)
 	if health.ShouldQuarantine(findings) {
 		ex.res.Health.AddQuarantine(j.id)
+		if mt := obs.Meter(ctx); mt != nil {
+			mt.Counter("scaltool_campaign_runs_quarantined_total", "campaign runs whose reports failed sanitization").Inc()
+		}
 		if criticalJob(j) {
 			ex.critical(fmt.Errorf("campaign: critical run %s quarantined; the model cannot fit without it", j.id))
 		}
 		return
 	}
 	out.Report = *clean
+	if o := obs.FromContext(ctx); o != nil && o.Trace != nil && j.kind == jobBase {
+		// Export the run's simulated-time per-processor timeline alongside
+		// the wall-clock spans (base runs only: they are the Figure 6/9/12
+		// points an operator debugs with).
+		sim.AppendTimeline(o.Trace, out, j.id)
+	}
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	switch j.kind {
@@ -464,10 +531,38 @@ func (ex *executor) accept(j job, out *sim.Result) {
 }
 
 // fail records a permanent failure and escalates if the run was critical.
-func (ex *executor) fail(j job, err error) {
+func (ex *executor) fail(ctx context.Context, j job, err error) {
 	ex.res.Health.AddFailure(j.id, err)
+	if mt := obs.Meter(ctx); mt != nil {
+		mt.Counter("scaltool_campaign_runs_failed_total", "campaign runs dropped after a permanent failure").Inc()
+	}
+	obs.Log(ctx).Error("run failed permanently", "critical", criticalJob(j), "err", err)
 	if criticalJob(j) {
 		ex.critical(fmt.Errorf("campaign: critical run %s failed permanently: %w", j.id, err))
+	}
+}
+
+// logFindings routes the sanitizer's verdicts to the structured log and the
+// per-severity findings counter: repairs are warnings, quarantines errors,
+// and structural notes debug chatter.
+func logFindings(ctx context.Context, findings []health.Finding) {
+	if len(findings) == 0 {
+		return
+	}
+	mt := obs.Meter(ctx)
+	for _, f := range findings {
+		if mt != nil {
+			mt.Counter("scaltool_campaign_findings_total", "health findings by severity",
+				"severity", string(f.Severity)).Inc()
+		}
+		switch f.Severity {
+		case health.Quarantine:
+			obs.Log(ctx).Error("health finding", "check", f.Check, "detail", f.Detail)
+		case health.Repair:
+			obs.Log(ctx).Warn("health finding", "check", f.Check, "detail", f.Detail)
+		default:
+			obs.Log(ctx).Debug("health finding", "check", f.Check, "detail", f.Detail)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"scaltool/internal/counters"
 	"scaltool/internal/health"
 	"scaltool/internal/model"
+	"scaltool/internal/obs"
 )
 
 // This file closes the loop on Table 1's "files" column: each run's counter
@@ -145,6 +147,15 @@ func FitDir(dir string, opts model.Options) (*model.Model, error) {
 // when what remains cannot possibly fit (no usable spin-kernel report) — it
 // then wraps model.ErrInsufficientInputs.
 func LoadInputsTolerant(dir string) (model.Inputs, *health.Report, error) {
+	return LoadInputsTolerantContext(context.Background(), dir)
+}
+
+// LoadInputsTolerantContext is LoadInputsTolerant under a context: an
+// observer there gets a "campaign.load" span and a log line per quarantined
+// file, plus the per-severity findings counter.
+func LoadInputsTolerantContext(ctx context.Context, dir string) (model.Inputs, *health.Report, error) {
+	ctx, span := obs.StartSpan(ctx, "campaign.load", obs.A("dir", dir))
+	defer span.End()
 	var in model.Inputs
 	in.SyncKernel = map[int]model.Measurement{}
 	hr := health.NewReport()
@@ -160,8 +171,10 @@ func LoadInputsTolerant(dir string) (model.Inputs, *health.Report, error) {
 	}
 	sort.Strings(names) // deterministic assembly
 	quarantine := func(id, detail string) {
-		hr.Add(health.Finding{Run: id, Check: "file", Severity: health.Quarantine, Detail: detail})
+		f := health.Finding{Run: id, Check: "file", Severity: health.Quarantine, Detail: detail}
+		hr.Add(f)
 		hr.AddQuarantine(id)
+		logFindings(ctx, []health.Finding{f})
 	}
 	var spin *counters.RunReport
 	for _, name := range names {
@@ -178,6 +191,7 @@ func LoadInputsTolerant(dir string) (model.Inputs, *health.Report, error) {
 		}
 		clean, findings := health.Sanitize(id, rep, 0)
 		hr.Add(findings...)
+		logFindings(obs.WithLogger(ctx, obs.Log(ctx).With("run", id)), findings)
 		if health.ShouldQuarantine(findings) {
 			hr.AddQuarantine(id)
 			continue
@@ -216,10 +230,16 @@ func LoadInputsTolerant(dir string) (model.Inputs, *health.Report, error) {
 // whatever survived, returning the health report alongside. The model's
 // Degradation record carries the quarantined run identities.
 func FitDirTolerant(dir string, opts model.Options) (*model.Model, *health.Report, error) {
-	in, hr, err := LoadInputsTolerant(dir)
+	return FitDirTolerantContext(context.Background(), dir, opts)
+}
+
+// FitDirTolerantContext is FitDirTolerant under a context, threading the
+// observer through both the tolerant load and the fit.
+func FitDirTolerantContext(ctx context.Context, dir string, opts model.Options) (*model.Model, *health.Report, error) {
+	in, hr, err := LoadInputsTolerantContext(ctx, dir)
 	if err != nil {
 		return nil, hr, err
 	}
-	m, err := model.Fit(in, opts)
+	m, err := model.FitContext(ctx, in, opts)
 	return m, hr, err
 }

@@ -71,8 +71,9 @@ type Model struct {
 	mCurve   *stats.Interpolator // m(s, 1)
 }
 
-// Fit estimates the model from a campaign's measurements, following §2.2–2.4.
-func Fit(in Inputs, opt Options) (*Model, error) {
+// fitModel is the uninstrumented fit, following §2.2–2.4. Fit and FitContext
+// (fit.go) wrap it with the public API and observability.
+func fitModel(in Inputs, opt Options) (*Model, error) {
 	if opt.OverflowFactor <= 0 {
 		opt.OverflowFactor = 1.5
 	}

@@ -1,0 +1,48 @@
+package model
+
+import (
+	"context"
+
+	"scaltool/internal/obs"
+)
+
+// Fit estimates the model from a campaign's measurements, following §2.2–2.4.
+func Fit(in Inputs, opt Options) (*Model, error) {
+	return FitContext(context.Background(), in, opt)
+}
+
+// FitContext is Fit with observability. An observer carried in ctx
+// (internal/obs) gets a "model.fit" span carrying the fit-quality numbers,
+// fit/degradation counters and gauges, and a structured log line whenever
+// the fit ran on a degraded input set — the signal an unattended campaign
+// operator greps for.
+func FitContext(ctx context.Context, in Inputs, opt Options) (*Model, error) {
+	ctx, span := obs.StartSpan(ctx, "model.fit",
+		obs.A("base_runs", len(in.Base)), obs.A("uni_runs", len(in.Uniproc)))
+	defer span.End()
+	m, err := fitModel(in, opt)
+	mt := obs.Meter(ctx)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		if mt != nil {
+			mt.Counter("scaltool_model_fit_failures_total", "model fits that returned an error").Inc()
+		}
+		obs.Log(ctx).Error("model fit failed", "err", err)
+		return nil, err
+	}
+	span.SetAttr("rmse", m.FitRMSE)
+	span.SetAttr("r2", m.FitR2)
+	span.SetAttr("degraded", m.Degradation.Degraded)
+	if mt != nil {
+		mt.Counter("scaltool_model_fits_total", "model fits completed").Inc()
+		mt.Gauge("scaltool_model_fit_rmse", "t2/tm least-squares residual of the latest fit").Set(m.FitRMSE)
+		mt.Gauge("scaltool_model_fit_r2", "coefficient of determination of the latest t2/tm fit").Set(m.FitR2)
+		if m.Degradation.Degraded {
+			mt.Counter("scaltool_model_degraded_fits_total", "model fits that ran on degraded input sets").Inc()
+		}
+	}
+	if m.Degradation.Degraded {
+		obs.Log(ctx).Warn("model fit ran degraded", "detail", m.Degradation.Summary())
+	}
+	return m, nil
+}

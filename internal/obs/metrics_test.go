@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("scaltool_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if m.Counter("scaltool_test_total", "a counter") != c {
+		t.Fatal("re-registration returned a new counter")
+	}
+	g := m.Gauge("scaltool_test_rmse", "a gauge")
+	g.Set(0.25)
+	if g.Value() != 0.25 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+	h := m.Histogram("scaltool_test_seconds", "a histogram", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if h.Sum() != 1006.5 {
+		t.Fatalf("hist sum = %g", h.Sum())
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("scaltool_findings_total", "findings", "severity", "repair")
+	b := m.Counter("scaltool_findings_total", "findings", "severity", "quarantine")
+	if a == b {
+		t.Fatal("distinct label sets shared a series")
+	}
+	a.Inc()
+	b.Add(2)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`scaltool_findings_total{severity="repair"} 1`,
+		`scaltool_findings_total{severity="quarantine"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE scaltool_findings_total counter") != 1 {
+		t.Fatalf("TYPE emitted per-series:\n%s", out)
+	}
+}
+
+// promSeriesRE matches one sample line of the text exposition format.
+var promSeriesRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+0-9.eE]+(Inf)?$`)
+
+func TestPrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("scaltool_runs_total", "runs").Add(3)
+	m.Gauge("scaltool_fit_rmse", "rmse").Set(0.031)
+	h := m.Histogram("scaltool_attempt_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var series int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		series++
+		if !promSeriesRE.MatchString(line) {
+			t.Fatalf("malformed series line %q", line)
+		}
+	}
+	// 1 counter + 1 gauge + (3 buckets + Inf + sum + count) = 8.
+	if series != 8 {
+		t.Fatalf("series = %d, want 8", series)
+	}
+	// Histogram buckets are cumulative and ordered.
+	out := buf.String()
+	for _, want := range []string{
+		`scaltool_attempt_seconds_bucket{le="0.01"} 0`,
+		`scaltool_attempt_seconds_bucket{le="0.1"} 1`,
+		`scaltool_attempt_seconds_bucket{le="1"} 1`,
+		`scaltool_attempt_seconds_bucket{le="+Inf"} 2`,
+		`scaltool_attempt_seconds_count 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpvarFunc(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("scaltool_runs_total", "runs").Add(2)
+	m.Histogram("scaltool_run_cycles", "cycles", CycleBuckets).Observe(5e6)
+	f := m.ExpvarFunc()
+	data, err := json.Marshal(f())
+	if err != nil {
+		t.Fatalf("expvar snapshot not marshalable: %v", err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["scaltool_runs_total"] != float64(2) {
+		t.Fatalf("snapshot = %v", got)
+	}
+	hist, ok := got["scaltool_run_cycles"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Fatalf("histogram snapshot = %v", got["scaltool_run_cycles"])
+	}
+	// Publishing twice under one name must not panic.
+	m.PublishExpvar("scaltool_test_metrics")
+	m.PublishExpvar("scaltool_test_metrics")
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				m.Counter("scaltool_c_total", "c").Inc()
+				m.Histogram("scaltool_h_cycles", "h", CycleBuckets).Observe(float64(k))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("scaltool_c_total", "c").Value(); got != 8000 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := m.Histogram("scaltool_h_cycles", "h", CycleBuckets).Count(); got != 8000 {
+		t.Fatalf("hist count = %d", got)
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	m := NewMetrics()
+	m.Counter("scaltool_x", "x")
+	m.Gauge("scaltool_x", "x")
+}

@@ -1,0 +1,183 @@
+// Package obs is the repo's observability layer: spans, metrics, and
+// structured logging for the campaign → sim → model pipeline, built only on
+// the standard library.
+//
+// Scal-Tool's whole point is attributing lost cycles, and its own pipeline
+// deserves the same treatment. An Observer bundles three independent
+// facilities, any of which may be nil:
+//
+//   - Trace — a span tracer exporting Chrome trace_event JSON, loadable in
+//     chrome://tracing and Perfetto. Campaign → run → attempt → fit form
+//     nested spans; internal/sim additionally exports per-processor
+//     busy/sync/imb region timelines into the same file.
+//   - Metrics — a registry of counters, gauges, and fixed-bucket histograms,
+//     serializable as Prometheus text format and publishable via expvar.
+//   - Logger — a log/slog logger; run identity is threaded via context so a
+//     retry or quarantine is attributable while the campaign is still
+//     running.
+//
+// The Observer travels in a context.Context (NewContext/FromContext) and
+// every entry point is nil-safe: code instrumented with StartSpan, Meter,
+// and Log runs unchanged — and with negligible overhead — when no observer
+// is installed. Instrumentation sits at run/region/fit granularity, never
+// inside the simulator's per-access hot loop (see the Obs benchmark and
+// BENCH_obs.json for the measured overhead).
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Observer bundles the three observability facilities. Any field may be nil;
+// all consumers are nil-safe.
+type Observer struct {
+	Trace   *Tracer
+	Metrics *Metrics
+	Logger  *slog.Logger
+}
+
+type ctxKey int
+
+const (
+	observerKey ctxKey = iota
+	spanKey
+	loggerKey
+)
+
+// NewContext installs an observer in a context.
+func NewContext(ctx context.Context, o *Observer) context.Context {
+	return context.WithValue(ctx, observerKey, o)
+}
+
+// FromContext returns the context's observer, or nil.
+func FromContext(ctx context.Context) *Observer {
+	o, _ := ctx.Value(observerKey).(*Observer)
+	return o
+}
+
+// Meter returns the context's metrics registry, or nil (whose methods are
+// all no-ops).
+func Meter(ctx context.Context) *Metrics {
+	if o := FromContext(ctx); o != nil {
+		return o.Metrics
+	}
+	return nil
+}
+
+// Log returns the logger for a context: a logger installed with WithLogger
+// wins, then the observer's, then a no-op logger. Never nil.
+func Log(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	if o := FromContext(ctx); o != nil && o.Logger != nil {
+		return o.Logger
+	}
+	return nopLogger
+}
+
+// WithLogger overrides the context's logger — the campaign uses it to thread
+// run identity (logger.With("run", id)) into everything a run touches.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an attribute.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one live span. A nil *Span is valid and inert, so callers never
+// branch on whether tracing is enabled.
+type Span struct {
+	tr    *Tracer
+	name  string
+	tid   int64
+	start time.Time
+	attrs []Attr
+	ended bool
+}
+
+// StartSpan opens a span named name. The span nests under the context's
+// current span (same trace lane); a context with no span starts a new lane.
+// The returned context carries the new span; End emits the trace event.
+// With no tracer in the context it returns (ctx, nil).
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	o := FromContext(ctx)
+	if o == nil || o.Trace == nil {
+		return ctx, nil
+	}
+	s := &Span{tr: o.Trace, name: name, start: time.Now(), attrs: attrs}
+	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
+		s.tid = parent.tid
+	} else {
+		s.tid = o.Trace.Lane()
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// Detach drops the current span from the context while keeping the
+// observer. Work handed to another goroutine detaches first, so its spans
+// open a fresh trace lane instead of interleaving with the parent's.
+func Detach(ctx context.Context) context.Context {
+	if SpanFromContext(ctx) == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, (*Span)(nil))
+}
+
+// SetAttr adds an attribute to the span. Safe on nil.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// TID returns the span's trace lane (0 for nil spans).
+func (s *Span) TID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.tid
+}
+
+// NameLane labels the span's trace lane in the exported trace — e.g. with a
+// run identity, so every lane in Perfetto reads as its run. Safe on nil.
+func (s *Span) NameLane(label string) {
+	if s == nil {
+		return
+	}
+	s.tr.NameThread(TracePID, s.tid, label)
+}
+
+// End closes the span and emits its trace event. Safe on nil; idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	var args map[string]any
+	if len(s.attrs) > 0 {
+		args = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			args[a.Key] = a.Value
+		}
+	}
+	s.tr.Emit(TracePID, s.tid, "span", s.name, s.tr.since(s.start), durMicros(time.Since(s.start)), args)
+}
+
+// durMicros converts a duration to trace microseconds.
+func durMicros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

@@ -1,0 +1,128 @@
+// External test package: these tests exercise perftools against
+// campaign.Plan (campaign imports perftools, so an internal test package
+// would cycle).
+package perftools_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"scaltool/internal/campaign"
+	"scaltool/internal/machine"
+	"scaltool/internal/perftools"
+	"scaltool/internal/sim"
+)
+
+// planFor builds the Table 3 plan shape by hand for n processor-count
+// points: base runs at 1, 2, …, 2^(n−1) and n−1 uniprocessor fractions.
+func planFor(n int) campaign.Plan {
+	p := campaign.Plan{App: "ident", S0: 1 << 20}
+	for i := 0; i < n; i++ {
+		p.ProcCounts = append(p.ProcCounts, 1<<i)
+	}
+	for i := 1; i < n; i++ {
+		p.UniSizes = append(p.UniSizes, p.S0>>i)
+	}
+	return p
+}
+
+// TestScalToolCostIdentities checks the Table 1 Scal-Tool row symbolically
+// at n = 1, 2, 3: 2n−1 runs, 2^n+n−2 processors, 2n−1 files — and that the
+// plan's processor bill stays below the existing-tools methodology for
+// every n with more than one point.
+func TestScalToolCostIdentities(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			plan := planFor(n)
+			if plan.N() != n {
+				t.Fatalf("plan.N() = %d, want %d", plan.N(), n)
+			}
+			c := plan.Cost()
+			if want := 2*n - 1; c.Runs != want {
+				t.Errorf("runs = %d, want 2n−1 = %d", c.Runs, want)
+			}
+			if want := 1<<n + n - 2; c.Processors != want {
+				t.Errorf("processors = %d, want 2^n+n−2 = %d", c.Processors, want)
+			}
+			if want := 2*n - 1; c.Files != want {
+				t.Errorf("files = %d, want 2n−1 = %d", c.Files, want)
+			}
+			if n > 1 {
+				ex := perftools.ExistingToolsCost(n)
+				if c.Processors >= ex.Processors {
+					t.Errorf("Scal-Tool bills %d processors, existing tools %d — Table 1's saving is gone",
+						c.Processors, ex.Processors)
+				}
+			}
+		})
+	}
+}
+
+// runAt simulates a small two-region program (a parallel sweep plus a
+// processor-0-only serial section that manufactures imbalance) at the given
+// processor count.
+func runAt(t *testing.T, procs int) *sim.Result {
+	t.Helper()
+	cfg := machine.TinyTest()
+	p, err := sim.NewProgram("split", procs, 4096, cfg.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := p.MustAlloc("a", 4096)
+	per := uint64(4096 / procs)
+	sweep := p.AddRegion("sweep")
+	for pr := 0; pr < procs; pr++ {
+		sweep.Proc(pr).Read(arr.Base+uint64(pr)*per, per/8, 8, 2)
+	}
+	p.AddRegion("serial").Proc(0).Compute(20_000)
+	res, err := sim.Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSpeedshopSplitVsGroundTruth validates the speedshop analogue's
+// barrier/imbalance split against the simulator's ground truth at 1, 2, and
+// 4 processors: the profile's buckets equal the summed per-region
+// attribution, MP = Sync + Imb holds, and a uniprocessor run shows no
+// imbalance at all.
+func TestSpeedshopSplitVsGroundTruth(t *testing.T) {
+	for _, procs := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			res := runAt(t, procs)
+			prof := perftools.Speedshop(res)
+
+			var sync, imb, busy float64
+			for _, reg := range res.Ground.Regions {
+				sync += reg.Sync
+				imb += reg.Imb
+				busy += reg.Busy
+			}
+			approx := func(got, want float64, what string) {
+				if math.Abs(got-want) > 1e-9*(want+1) {
+					t.Errorf("%s = %g, want %g", what, got, want)
+				}
+			}
+			approx(prof.BarrierCycles, sync, "barrier bucket")
+			approx(prof.WaitCycles, imb, "wait bucket")
+			approx(prof.MPCycles(), res.Ground.MPCycles(), "MP")
+			approx(prof.BarrierCycles+prof.WaitCycles, res.Ground.SyncCycles+res.Ground.ImbCycles, "MP identity")
+
+			var routine float64
+			for _, r := range prof.Routines {
+				routine += r.Cycles
+			}
+			approx(routine, busy, "routine busy cycles")
+
+			if procs == 1 {
+				if prof.WaitCycles != 0 {
+					t.Errorf("uniprocessor run shows %g imbalance cycles", prof.WaitCycles)
+				}
+			} else if prof.WaitCycles == 0 {
+				t.Error("serial section produced no imbalance on a multiprocessor run")
+			}
+		})
+	}
+}

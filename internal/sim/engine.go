@@ -13,6 +13,7 @@ import (
 	"scaltool/internal/machine"
 	"scaltool/internal/memdsm"
 	"scaltool/internal/network"
+	"scaltool/internal/obs"
 )
 
 // engine holds the machine state of one run.
@@ -58,6 +59,10 @@ func Run(cfg machine.Config, prog *Program) (*Result, error) {
 // and returns the context's error, without a result, once it is canceled or
 // its deadline passes. A run that completes its last region wins the race
 // and returns normally.
+//
+// An observer in ctx (internal/obs) gets a "sim.run" span plus the run's
+// simulated-cycle and region counters; the per-access hot loop is never
+// instrumented.
 func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -65,6 +70,9 @@ func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "sim.run",
+		obs.A("prog", prog.Name), obs.A("procs", prog.Procs), obs.A("bytes", prog.DataBytes))
+	defer span.End()
 	net, err := network.New(prog.Procs, cfg.ProcsPerRouter, cfg.Lat.RouterHop)
 	if err != nil {
 		return nil, err
@@ -104,7 +112,16 @@ func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result
 		}
 		e.runRegion(ctx, &prog.Regions()[i])
 	}
-	return e.result(), nil
+	res := e.result()
+	if mt := obs.Meter(ctx); mt != nil {
+		mt.Counter("scaltool_sim_runs_total", "simulated runs completed").Inc()
+		mt.Counter("scaltool_sim_regions_total", "barrier regions simulated").Add(e.barrierCount)
+		mt.Counter("scaltool_sim_cycles_total", "simulated wall cycles, summed over runs").Add(round(e.wall))
+		mt.Histogram("scaltool_sim_run_cycles", "simulated wall cycles per run", obs.CycleBuckets).Observe(e.wall)
+	}
+	span.SetAttr("wall_cycles", res.WallCycles)
+	span.SetAttr("regions", len(res.Ground.Regions))
+	return res, nil
 }
 
 func log2(v int) uint {
@@ -208,7 +225,7 @@ func (e *engine) runRegion(ctx context.Context, r *Region) {
 		}
 	}
 	barrierDrain := regionEnd - maxArrival
-	att := RegionAttribution{Name: r.Name}
+	att := RegionAttribution{Name: r.Name, PerProc: make([]ProcPhases, n)}
 	for p := 0; p < n; p++ {
 		o := &outs[p]
 		syncCycles := lockWait[p] + barrierDrain
@@ -220,6 +237,7 @@ func (e *engine) runRegion(ctx context.Context, r *Region) {
 		att.Busy += o.work
 		att.Sync += syncCycles
 		att.Imb += imbCycles
+		att.PerProc[p] = ProcPhases{Busy: o.work, Sync: syncCycles, Imb: imbCycles}
 
 		c := &segSets[p]
 		c.Add(counters.Cycles, round(regionEnd))

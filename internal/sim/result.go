@@ -14,6 +14,20 @@ type RegionAttribution struct {
 	Busy float64 // compute + memory-stall cycles
 	Sync float64 // barrier entry/exit, fetchop, lock transactions and lock-contention waits
 	Imb  float64 // spin-waiting for stragglers at barriers
+
+	// PerProc is the per-processor split of the same attribution (index =
+	// processor). For every processor Busy+Sync+Imb spans the region's
+	// elapsed cycles exactly, so the slices concatenate into a gap-free
+	// per-processor timeline (AppendTimeline exports it as trace_event).
+	// Aggregated views (RegionSummary) leave it empty.
+	PerProc []ProcPhases
+}
+
+// ProcPhases is one processor's cycle attribution within one region.
+type ProcPhases struct {
+	Busy float64
+	Sync float64
+	Imb  float64
 }
 
 // GroundTruth is everything the simulator knows that real hardware counters

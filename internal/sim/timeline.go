@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+
+	"scaltool/internal/obs"
+)
+
+// AppendTimeline exports the run's per-processor region attribution as a
+// simulated-time trace_event timeline on its own trace process: one thread
+// per processor, one slice per (region, phase). Timestamps are simulated
+// cycles rendered as microseconds (1 cycle = 1 µs), so the cycle axis never
+// mixes with the tracer's wall-clock span axis (which lives on TracePID).
+//
+// Within a region each processor's lane shows busy, then imbalance (spinning
+// for the last arriver), then synchronization (barrier drain, plus any lock
+// waits folded into the sync total). Because Busy+Sync+Imb spans the
+// region's elapsed cycles exactly for every processor, the slices tile the
+// timeline with no gaps. Label names the process ("sim <label>") so several
+// runs can share one trace file.
+func AppendTimeline(tr *obs.Tracer, res *Result, label string) {
+	if tr == nil || res == nil {
+		return
+	}
+	pid := tr.NewProcess("sim " + label)
+	for p := 0; p < res.Procs; p++ {
+		tr.NameThread(pid, int64(p), fmt.Sprintf("cpu %d", p))
+	}
+	var cum float64 // region start, in cycles from the run's start
+	for _, reg := range res.Ground.Regions {
+		if len(reg.PerProc) == 0 {
+			continue // aggregated attribution carries no per-proc split
+		}
+		args := map[string]any{"region": reg.Name}
+		var elapsed float64
+		for p, ph := range reg.PerProc {
+			tid := int64(p)
+			ts := cum
+			emit := func(name string, dur float64) {
+				if dur > 0 {
+					tr.Emit(pid, tid, "sim", name, ts, dur, args)
+				}
+				ts += dur
+			}
+			emit("busy", ph.Busy)
+			emit("imb", ph.Imb)
+			emit("sync", ph.Sync)
+			if total := ph.Busy + ph.Sync + ph.Imb; total > elapsed {
+				elapsed = total
+			}
+		}
+		cum += elapsed
+	}
+}

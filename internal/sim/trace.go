@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 )
@@ -11,20 +12,34 @@ import (
 // totals. This is the debugging view a programmer uses to find *which*
 // phase of the application carries a bottleneck once the whole-run
 // breakdown has named it.
+//
+// Region names come straight from user programs, so they are written through
+// encoding/csv — a name containing commas, quotes, or newlines is quoted
+// rather than splitting the row.
 func (r *Result) WriteRegionTrace(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "index,region,busy_cycles,sync_cycles,imb_cycles,region_total,cumulative_total"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "region", "busy_cycles", "sync_cycles", "imb_cycles", "region_total", "cumulative_total"}); err != nil {
 		return err
 	}
 	var cum float64
 	for i, reg := range r.Ground.Regions {
 		total := reg.Busy + reg.Sync + reg.Imb
 		cum += total
-		if _, err := fmt.Fprintf(w, "%d,%s,%.0f,%.0f,%.0f,%.0f,%.0f\n",
-			i, reg.Name, reg.Busy, reg.Sync, reg.Imb, total, cum); err != nil {
+		row := []string{
+			fmt.Sprint(i),
+			reg.Name,
+			fmt.Sprintf("%.0f", reg.Busy),
+			fmt.Sprintf("%.0f", reg.Sync),
+			fmt.Sprintf("%.0f", reg.Imb),
+			fmt.Sprintf("%.0f", total),
+			fmt.Sprintf("%.0f", cum),
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // RegionSummary aggregates the trace by region name — the per-routine view

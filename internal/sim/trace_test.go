@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"scaltool/internal/obs"
+)
+
+// TestRegionTraceQuoting is the regression test for the CSV-injection bug:
+// region names are user input, and a name with a comma used to split its row
+// into extra columns (and a quote broke quoting entirely).
+func TestRegionTraceQuoting(t *testing.T) {
+	c := cfg()
+	p, err := NewProgram("hostile", 1, 1024, c.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		`solve,phase="1"`,
+		"multi\nline",
+		"plain",
+	}
+	for _, name := range names {
+		p.AddRegion(name).Proc(0).Compute(100)
+	}
+	res := run(t, p)
+
+	var buf bytes.Buffer
+	if err := res.WriteRegionTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("trace does not parse as CSV: %v", err)
+	}
+	if len(rows) != 1+len(names) {
+		t.Fatalf("rows = %d, want %d", len(rows), 1+len(names))
+	}
+	for i, row := range rows {
+		if len(row) != 7 {
+			t.Fatalf("row %d has %d fields (injection?): %q", i, len(row), row)
+		}
+	}
+	for i, name := range names {
+		if got := rows[i+1][1]; got != name {
+			t.Errorf("region %d round-tripped as %q, want %q", i, got, name)
+		}
+	}
+}
+
+// TestAppendTimeline checks the simulated-time trace export: per-processor
+// threads, gap-free phase slices, and totals that match the ground truth.
+func TestAppendTimeline(t *testing.T) {
+	const n = 4
+	p := buildSweep(t, n, 16<<10, 3, false)
+	res := run(t, p)
+
+	tr := obs.NewTracer()
+	AppendTimeline(tr, res, "sweep_p04")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int64          `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("timeline is not valid trace_event JSON: %v", err)
+	}
+
+	// The sim timeline must live on its own process, not the span pid.
+	simPID := int64(-1)
+	threads := map[int64]bool{}
+	perProc := make([]struct{ busy, sync, imb, end float64 }, n)
+	for _, e := range got.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" && e.Args["name"] == "sim sweep_p04" {
+			simPID = e.PID
+		}
+	}
+	if simPID < 0 {
+		t.Fatal("no 'sim sweep_p04' process in trace")
+	}
+	if simPID == obs.TracePID {
+		t.Fatal("sim timeline emitted on the span pid")
+	}
+	for _, e := range got.TraceEvents {
+		if e.PID != simPID {
+			continue
+		}
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threads[e.TID] = true
+			}
+		case "X":
+			pr := int(e.TID)
+			if pr < 0 || pr >= n {
+				t.Fatalf("slice on unexpected thread %d", e.TID)
+			}
+			acc := &perProc[pr]
+			switch e.Name {
+			case "busy":
+				acc.busy += e.Dur
+			case "sync":
+				acc.sync += e.Dur
+			case "imb":
+				acc.imb += e.Dur
+			default:
+				t.Fatalf("unexpected slice name %q", e.Name)
+			}
+			if e.Dur <= 0 {
+				t.Fatalf("non-positive slice duration %g", e.Dur)
+			}
+			if e.TS+e.Dur > res.WallCycles*(1+1e-9) {
+				t.Fatalf("slice [%g,%g] exceeds wall %g", e.TS, e.TS+e.Dur, res.WallCycles)
+			}
+			if end := e.TS + e.Dur; end > acc.end {
+				acc.end = end
+			}
+			if e.Args["region"] == "" {
+				t.Fatal("slice missing region arg")
+			}
+		}
+	}
+	for pr := 0; pr < n; pr++ {
+		if !threads[int64(pr)] {
+			t.Errorf("processor %d has no thread_name record", pr)
+		}
+		acc := perProc[pr]
+		approx := func(got, want float64, what string) {
+			if math.Abs(got-want) > 1e-6*(want+1) {
+				t.Errorf("proc %d %s = %g, want %g", pr, what, got, want)
+			}
+		}
+		approx(acc.busy, res.Ground.PerProcBusy[pr], "busy")
+		approx(acc.sync, res.Ground.PerProcSync[pr], "sync")
+		approx(acc.imb, res.Ground.PerProcImb[pr], "imb")
+		// Gap-free: every lane's slices tile exactly up to the wall.
+		approx(acc.end, res.WallCycles, "timeline end")
+	}
+}
+
+// TestAppendTimelineNilSafe checks the exporter is inert without a tracer.
+func TestAppendTimelineNilSafe(t *testing.T) {
+	AppendTimeline(nil, nil, "x")
+	res := run(t, buildSweep(t, 2, 4<<10, 1, false))
+	AppendTimeline(nil, res, "x")
+}
+
+// TestRunMetricsAndSpan checks RunContext feeds the observer: a sim.run
+// span plus run/region/cycle counters, and no instrumentation overhead in
+// the default (no-observer) path.
+func TestRunMetricsAndSpan(t *testing.T) {
+	o := &obs.Observer{Trace: obs.NewTracer(), Metrics: obs.NewMetrics()}
+	ctx := obs.NewContext(context.Background(), o)
+	p := buildSweep(t, 2, 4<<10, 3, false)
+	res, err := RunContext(ctx, cfg(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics.Counter("scaltool_sim_runs_total", "simulated runs completed").Value(); got != 1 {
+		t.Errorf("runs counter = %d", got)
+	}
+	if got := o.Metrics.Counter("scaltool_sim_regions_total", "barrier regions simulated").Value(); got != 3 {
+		t.Errorf("regions counter = %d", got)
+	}
+	cyc := o.Metrics.Counter("scaltool_sim_cycles_total", "simulated wall cycles, summed over runs").Value()
+	if math.Abs(float64(cyc)-res.WallCycles) > 1 {
+		t.Errorf("cycles counter = %d, wall = %g", cyc, res.WallCycles)
+	}
+	var buf bytes.Buffer
+	if err := o.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`"name":%q`, "sim.run")
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Fatalf("no sim.run span in trace:\n%s", buf.String())
+	}
+}

@@ -26,6 +26,7 @@
 package scaltool
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -165,6 +166,14 @@ func Analyze(cfg MachineConfig, app App, maxProcs int) (*Analysis, error) {
 
 // AnalyzeOpts is Analyze with explicit options.
 func AnalyzeOpts(cfg MachineConfig, app App, maxProcs int, opts Options) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), cfg, app, maxProcs, opts)
+}
+
+// AnalyzeContext is AnalyzeOpts under a context: cancellation stops the
+// campaign at the next run boundary, and an observer installed in ctx
+// (internal/obs) sees the whole workflow — campaign/run/attempt/fit spans,
+// run and fit metrics, and structured logs carrying each run's identity.
+func AnalyzeContext(ctx context.Context, cfg MachineConfig, app App, maxProcs int, opts Options) (*Analysis, error) {
 	plan, err := campaign.NewPlan(app, cfg, maxProcs, opts.S0)
 	if err != nil {
 		return nil, err
@@ -175,7 +184,7 @@ func AnalyzeOpts(cfg MachineConfig, app App, maxProcs int, opts Options) (*Analy
 		RetryBase:  100 * time.Millisecond,
 		RunTimeout: opts.RunTimeout,
 	}
-	res, err := rn.Run(app, plan)
+	res, err := rn.Execute(ctx, app, plan)
 	if err != nil {
 		return nil, fmt.Errorf("scaltool: campaign for %s: %w", app.Name(), err)
 	}
@@ -185,7 +194,7 @@ func AnalyzeOpts(cfg MachineConfig, app App, maxProcs int, opts Options) (*Analy
 		mopts.Refit = opts.Model.Refit
 		mopts.RawTmN = opts.Model.RawTmN
 	}
-	m, err := res.Fit(mopts)
+	m, err := res.FitContext(ctx, mopts)
 	if err != nil {
 		return nil, fmt.Errorf("scaltool: fitting %s: %w", app.Name(), err)
 	}

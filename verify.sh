@@ -13,11 +13,14 @@ go test ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test -race (sim, campaign)"
-go test -race ./internal/sim/... ./internal/campaign/...
+echo "==> go test -race (sim, campaign, obs)"
+go test -race ./internal/sim/... ./internal/campaign/... ./internal/obs/...
 
 echo "==> chaos smoke (fault-injected campaigns under the race detector)"
 go test -run Chaos -race ./internal/campaign/...
+
+echo "==> observability e2e (tiny campaign; trace + metrics must parse)"
+go test -run TestObsEndToEnd ./cmd/scaltool/
 
 echo "==> scalvet"
 go run ./cmd/scalvet ./...
