@@ -111,8 +111,11 @@ func run(appName string, procs int, size uint64, mach, jsonPath string, mux bool
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := report.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("\ncounter report written to %s\n", jsonPath)
@@ -122,8 +125,11 @@ func run(appName string, procs int, size uint64, mach, jsonPath string, mux bool
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := res.WriteRegionTrace(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("region trace written to %s\n", tracePath)

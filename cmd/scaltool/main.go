@@ -14,7 +14,12 @@
 // Robustness flags (see README's Robustness section): -max-retries and
 // -run-timeout set the retry budget and per-attempt deadline of every run,
 // -fault-spec injects deterministic faults for chaos drills, -health-json
-// writes the machine-readable health report.
+// writes the machine-readable health report. -journal-dir makes the
+// campaign crash-safe (every run outcome goes through a write-ahead journal
+// before it counts) and -resume continues an interrupted campaign from that
+// journal; -heartbeat-timeout/-max-worker-restarts arm the worker watchdog,
+// and -shutdown-grace bounds how long a SIGINT/SIGTERM graceful stop may
+// take before the process force-exits.
 //
 // Observability flags (see README's Observability section): -trace-out
 // writes a Chrome trace_event file (campaign/run/attempt/fit spans plus the
@@ -31,6 +36,8 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof-addr serves the default mux
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"scaltool/internal/apps"
@@ -108,6 +115,12 @@ type common struct {
 	runTimeout *time.Duration
 	healthJSON *string
 
+	journalDir    *string
+	resume        *bool
+	shutdownGrace *time.Duration
+	heartbeat     *time.Duration
+	maxRestarts   *int
+
 	traceOut   *string
 	metricsOut *string
 	logLevel   *string
@@ -130,6 +143,12 @@ func commonFlags(name string) *common {
 		maxRetries: fs.Int("max-retries", 2, "retries per run after a transient failure or blown deadline"),
 		runTimeout: fs.Duration("run-timeout", 0, "per-attempt run deadline (0 = none)"),
 		healthJSON: fs.String("health-json", "", "write the machine-readable health report to this file"),
+
+		journalDir:    fs.String("journal-dir", "", "write-ahead journal directory: makes the campaign crash-safe and resumable"),
+		resume:        fs.Bool("resume", false, "resume the interrupted campaign recorded in -journal-dir"),
+		shutdownGrace: fs.Duration("shutdown-grace", 10*time.Second, "grace period for a SIGINT/SIGTERM stop before the process force-exits"),
+		heartbeat:     fs.Duration("heartbeat-timeout", 0, "worker watchdog: restart a run making no progress for this long (0 = off)"),
+		maxRestarts:   fs.Int("max-worker-restarts", 2, "watchdog restarts one run gets before it is quarantined"),
 		traceOut:   fs.String("trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)"),
 		metricsOut: fs.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file"),
 		logLevel:   fs.String("log-level", "warn", "structured log level: debug | info | warn | error"),
@@ -181,7 +200,7 @@ func (c *common) observe() (context.Context, func() error, error) {
 				return fmt.Errorf("metrics: %w", err)
 			}
 			if err := o.Metrics.WritePrometheus(f); err != nil {
-				f.Close()
+				_ = f.Close()
 				return fmt.Errorf("metrics: %w", err)
 			}
 			if err := f.Close(); err != nil {
@@ -193,13 +212,84 @@ func (c *common) observe() (context.Context, func() error, error) {
 	return obs.NewContext(context.Background(), o), flush, nil
 }
 
+// validate cross-checks flag combinations that individual flag parsing
+// cannot: mistakes here must fail before any simulation starts, not after a
+// multi-hour campaign.
+func (c *common) validate() error {
+	if *c.resume && *c.journalDir == "" {
+		return fmt.Errorf("-resume needs -journal-dir (the journal to resume from)")
+	}
+	if *c.shutdownGrace <= 0 {
+		return fmt.Errorf("-shutdown-grace must be positive, got %s", *c.shutdownGrace)
+	}
+	if *c.maxRestarts < 0 {
+		return fmt.Errorf("-max-worker-restarts must be non-negative, got %d", *c.maxRestarts)
+	}
+	return nil
+}
+
+// withShutdown installs the graceful-stop handler: the first SIGINT/SIGTERM
+// cancels the campaign context, which drains the worker pool and flushes the
+// journal on the normal unwind path; if that takes longer than
+// -shutdown-grace the process force-exits. The returned release func
+// uninstalls the handler.
+func (c *common) withShutdown(ctx context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	grace := *c.shutdownGrace
+	go func() {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(os.Stderr, "scaltool: %v: stopping campaign, flushing journal (grace %s)\n", sig, grace)
+			cancel()
+			t := time.NewTimer(grace)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				fmt.Fprintln(os.Stderr, "scaltool: shutdown grace expired; exiting")
+				os.Exit(1)
+			case <-done:
+			}
+		case <-done:
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(sigs)
+		close(done)
+		cancel()
+	}
+}
+
+// execute runs the campaign the flags describe: plain, durable
+// (-journal-dir), or resumed (-resume), under the graceful-shutdown handler.
+// On a durable result the journal stays open for Result.RecordFit; callers
+// must CloseJournal.
+func (c *common) execute(ctx context.Context, rn *campaign.Runner, app apps.App, plan campaign.Plan) (*campaign.Result, error) {
+	ctx, release := c.withShutdown(ctx)
+	defer release()
+	if *c.journalDir == "" {
+		return rn.Execute(ctx, app, plan)
+	}
+	opts := campaign.DurableOptions{Dir: *c.journalDir}
+	if *c.resume {
+		// The journal carries the campaign's app and plan; the command-line
+		// -app/-procs/-s0 are ignored in favor of what was interrupted.
+		return rn.Resume(ctx, opts)
+	}
+	return rn.ExecuteDurable(ctx, app, plan, opts)
+}
+
 // runner builds the fault-tolerant campaign runner the flags describe.
 func (c *common) runner(cfg machine.Config) (*campaign.Runner, error) {
 	rn := &campaign.Runner{
 		Cfg: cfg, Workers: *c.workers,
-		MaxRetries: *c.maxRetries,
-		RetryBase:  100 * time.Millisecond,
-		RunTimeout: *c.runTimeout,
+		MaxRetries:        *c.maxRetries,
+		RetryBase:         100 * time.Millisecond,
+		RunTimeout:        *c.runTimeout,
+		HeartbeatTimeout:  *c.heartbeat,
+		MaxWorkerRestarts: *c.maxRestarts,
 	}
 	spec, err := faultinject.ParseSpec(*c.faultSpec)
 	if err != nil {
@@ -232,8 +322,11 @@ func (c *common) reportHealth(hr *health.Report) error {
 	if err != nil {
 		return fmt.Errorf("health report: %w", err)
 	}
-	defer f.Close()
 	if err := hr.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("health report: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("health report: %w", err)
 	}
 	return nil
@@ -312,6 +405,9 @@ func cmdPlan(args []string) error {
 }
 
 func fitFor(c *common) (*campaign.Result, *model.Model, error) {
+	if err := c.validate(); err != nil {
+		return nil, nil, err
+	}
 	app, plan, cfg, err := planFor(c)
 	if err != nil {
 		return nil, nil, err
@@ -324,15 +420,22 @@ func fitFor(c *common) (*campaign.Result, *model.Model, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := rn.Execute(ctx, app, plan)
+	res, err := c.execute(ctx, rn, app, plan)
 	if err != nil {
 		return nil, nil, err
 	}
+	defer res.CloseJournal()
 	opts := model.DefaultOptions(cfg.L2.SizeBytes)
 	opts.RawTmN = *c.rawTm
 	m, err := res.FitContext(ctx, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if err := res.RecordFit(ctx, m); err != nil {
+		return nil, nil, err
+	}
+	if err := res.CloseJournal(); err != nil {
+		return nil, nil, fmt.Errorf("closing campaign journal: %w", err)
 	}
 	if err := flush(); err != nil {
 		return nil, nil, err
@@ -391,6 +494,9 @@ func cmdMeasure(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	if err := c.validate(); err != nil {
+		return err
+	}
 	app, plan, cfg, err := planFor(c)
 	if err != nil {
 		return err
@@ -403,9 +509,12 @@ func cmdMeasure(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := rn.Execute(ctx, app, plan)
+	res, err := c.execute(ctx, rn, app, plan)
 	if err != nil {
 		return err
+	}
+	if err := res.CloseJournal(); err != nil {
+		return fmt.Errorf("closing campaign journal: %w", err)
 	}
 	nFiles, err := res.SaveReports(*out)
 	if err != nil {

@@ -201,3 +201,63 @@ func TestCmdMeasureAndFit(t *testing.T) {
 		t.Error("empty dir accepted")
 	}
 }
+
+// TestCLIFlagValidation drives every bad flag combination the run-based
+// subcommands must reject before any simulation starts. Each case must fail
+// fast with a message naming the offending flag.
+func TestCLIFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cmd  func([]string) error
+		args []string
+		want string
+	}{
+		{"resume without journal-dir", cmdAnalyze,
+			[]string{"-resume"}, "-resume needs -journal-dir"},
+		{"resume without journal-dir (measure)", cmdMeasure,
+			[]string{"-resume", "-out", t.TempDir()}, "-resume needs -journal-dir"},
+		{"zero shutdown grace", cmdAnalyze,
+			[]string{"-shutdown-grace", "0s"}, "-shutdown-grace must be positive"},
+		{"negative shutdown grace", cmdAnalyze,
+			[]string{"-shutdown-grace", "-5s"}, "-shutdown-grace must be positive"},
+		{"negative restart budget", cmdAnalyze,
+			[]string{"-max-worker-restarts", "-1"}, "-max-worker-restarts must be non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cmd(tc.args)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCLIResumeRejectsSpentFault prepares a completed journal, then asks for
+// a resume with a -fault-spec that targets a run the journal already records
+// as finished. The fault could never fire, so the CLI must refuse up front
+// rather than run a campaign whose injected failure silently never happens.
+func TestCLIResumeRejectsSpentFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	dir := t.TempDir()
+	if err := cmdAnalyze([]string{"-app", "swim", "-procs", "4", "-journal-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdAnalyze([]string{"-resume", "-journal-dir", dir, "-fault-spec", "failrun=ksync_p01_s0"})
+	if err == nil {
+		t.Fatal("resume with a spent fault target accepted")
+	}
+	if !strings.Contains(err.Error(), "never fire") {
+		t.Fatalf("error %q does not explain the fault can never fire", err)
+	}
+	// Without the spent fault the same resume succeeds: everything is
+	// replayed from the journal and the fit reruns.
+	if err := cmdAnalyze([]string{"-resume", "-journal-dir", dir}); err != nil {
+		t.Fatalf("plain resume of a completed journal: %v", err)
+	}
+}

@@ -17,6 +17,7 @@
 //   - exhauststate: non-exhaustive switches over coherence/placement enums
 //   - ctxgo:        campaign/sim goroutines launched without a context
 //   - spanend:      StartSpan spans with no deferred or per-return-path End
+//   - closecheck:   discarded (*os.File).Close/Sync errors on write paths
 //
 // A diagnostic on a given line is suppressed by a trailing
 // "//scalvet:ignore reason" comment on the same line or by one on its own
@@ -80,7 +81,7 @@ func (a *Analyzer) appliesTo(pkgPath string) bool {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, CounterConv, LoopCapture, SharedMut, PanicMsg, ExhaustState, CtxGo, SpanEnd}
+	return []*Analyzer{FloatCmp, CounterConv, LoopCapture, SharedMut, PanicMsg, ExhaustState, CtxGo, SpanEnd, CloseCheck}
 }
 
 // Pass carries one analyzer's run over one package.

@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestCloseCheck(t *testing.T) { testFixture(t, CloseCheck, "closecheck") }

@@ -1,0 +1,71 @@
+// Fixture for the closecheck analyzer.
+package closecheck
+
+import "os"
+
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "unchecked (*os.File).Close error on a write path"
+	_, err = f.WriteString("x")
+	return err
+}
+
+func bareCalls(path string) {
+	f, _ := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f.Sync()  // want "unchecked (*os.File).Sync error on a write path"
+	f.Close() // want "unchecked (*os.File).Close error on a write path"
+}
+
+func tempFile() {
+	f, _ := os.CreateTemp("", "x")
+	defer f.Sync() // want "unchecked (*os.File).Sync error on a write path"
+	if err := f.Close(); err != nil {
+		_ = err
+	}
+}
+
+// readOnly: os.Open files carry no buffered writes, so their close error
+// loses nothing and stays unflagged.
+func readOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// clean shows every accepted form: error checked in a deferred closure,
+// returned from Sync, and explicitly discarded on an error path.
+func clean(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if _, werr := f.WriteString("x"); werr != nil {
+		return werr
+	}
+	return f.Sync()
+}
+
+func discarded(path string) {
+	f, _ := os.Create(path)
+	_ = f.Sync()
+	_ = f.Close()
+}
+
+func suppressed(path string) {
+	f, _ := os.Create(path)
+	//scalvet:ignore fixture demonstrates suppression
+	f.Close()
+}

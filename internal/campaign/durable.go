@@ -1,0 +1,448 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/counters"
+	"scaltool/internal/faultinject"
+	"scaltool/internal/health"
+	"scaltool/internal/journal"
+	"scaltool/internal/model"
+	"scaltool/internal/obs"
+	"scaltool/internal/sim"
+)
+
+// This file is the crash-safety layer: ExecuteDurable writes every campaign
+// decision through a write-ahead journal (internal/journal) before applying
+// it, and Resume replays that journal so a campaign killed at any point —
+// including mid-record — picks up where it left off. The invariant (enforced
+// by the chaos tests) is that crash + resume produces a byte-identical model
+// breakdown to an uninterrupted campaign.
+//
+// WAL discipline: a run's terminal event (done/skip/quarantine/fail) is
+// appended to the journal BEFORE the run is recorded in the Result. If the
+// append fails the run is not recorded and the campaign aborts; on resume
+// the run simply executes again, and because every campaign decision is a
+// pure function of (spec, run identity, attempt), re-execution reproduces
+// the identical report. Retry events are journaled for the health report;
+// attempt events are journaled for forensics and dropped at compaction.
+// In-flight runs (attempt events but no terminal event) re-enter the retry
+// loop from attempt zero on resume, regenerating their retry trace instead
+// of replaying a partial one.
+
+// Event types, in the order a run can emit them.
+const (
+	evStart      = "start"      // campaign identity: app, machine, plan, fault spec
+	evAttempt    = "attempt"    // one try of one run began
+	evRetry      = "retry"      // an attempt failed retryably; the run backs off
+	evDone       = "done"       // run accepted; Report is the sanitized counter report
+	evSkip       = "skip"       // uniprocessor size below the app's grid
+	evQuarantine = "quarantine" // report failed sanitization (or watchdog poisoned the run)
+	evFail       = "fail"       // run dropped after a permanent failure
+	evFit        = "fit"        // model fitted from this campaign's measurements
+)
+
+// event is one journal record. One struct covers every type; unused fields
+// stay at their zero value and are elided from the JSON.
+type event struct {
+	Type string `json:"type"`
+
+	// evStart.
+	App     string `json:"app,omitempty"`
+	Machine string `json:"machine,omitempty"`
+	Plan    *Plan  `json:"plan,omitempty"`
+	Spec    string `json:"spec,omitempty"`
+
+	// Per-run events.
+	Run       string              `json:"run,omitempty"`
+	Kind      string              `json:"kind,omitempty"`
+	Procs     int                 `json:"procs,omitempty"`
+	Size      uint64              `json:"size,omitempty"`
+	Attempt   int                 `json:"attempt,omitempty"`
+	BackoffNS int64               `json:"backoff_ns,omitempty"`
+	Reason    string              `json:"reason,omitempty"`
+	Report    *counters.RunReport `json:"report,omitempty"`
+	Findings  []health.Finding    `json:"findings,omitempty"`
+
+	// evFit.
+	Fit *fitSummary `json:"fit,omitempty"`
+}
+
+// fitSummary records the headline estimates of a completed fit, so a journal
+// is a self-contained record of what the campaign concluded.
+type fitSummary struct {
+	CPI0     float64 `json:"cpi0"`
+	T2       float64 `json:"t2"`
+	Tm1      float64 `json:"tm1"`
+	CpiImb   float64 `json:"cpi_imb"`
+	Points   int     `json:"points"`
+	Degraded bool    `json:"degraded"`
+}
+
+// DurableOptions configures ExecuteDurable and Resume.
+type DurableOptions struct {
+	// Dir is the journal directory. Required.
+	Dir string
+	// SnapshotEvery compacts the journal into a snapshot after this many
+	// terminal run events (default 8; < 0 disables snapshots).
+	SnapshotEvery int
+	// SegmentBytes caps one journal segment (0 = the journal's default).
+	SegmentBytes int64
+	// Sync selects the journal's fsync policy (default journal.SyncAlways).
+	Sync journal.SyncPolicy
+}
+
+func (o DurableOptions) snapshotEvery() int {
+	if o.SnapshotEvery < 0 {
+		return 0
+	}
+	if o.SnapshotEvery == 0 {
+		return 8
+	}
+	return o.SnapshotEvery
+}
+
+// durable is the campaign's journal handle plus the compacted event state a
+// snapshot serializes.
+type durable struct {
+	j    *journal.Journal
+	opts DurableOptions
+
+	mu        sync.Mutex
+	start     *event
+	terminal  map[string]event   // run identity → its terminal event
+	retries   map[string][]event // run identity → journaled retry events
+	fit       *event
+	sinceSnap int
+	closed    bool
+}
+
+// journalHook maps the injector's journal-fault decisions onto journal.Hook
+// errors: a crash point fails the append outright, a torn point makes the
+// journal write half the frame first, an fsync point fails the sync.
+func (rn *Runner) journalHook() journal.Hook {
+	in := rn.Inject
+	if in == nil || !in.Spec().JournalTargets() {
+		return nil
+	}
+	return func(op journal.Op, n uint64) error {
+		switch op {
+		case journal.OpAppend:
+			switch in.JournalAppend(n) {
+			case faultinject.JournalCrash:
+				return fmt.Errorf("campaign: injected crash before journal append %d", n)
+			case faultinject.JournalTorn:
+				return fmt.Errorf("campaign: injected crash during journal append %d: %w", n, journal.ErrTornWrite)
+			}
+		case journal.OpSync:
+			if in.JournalSync(n) == faultinject.JournalSyncFail {
+				return fmt.Errorf("campaign: injected fsync failure at journal sync %d", n)
+			}
+		}
+		return nil
+	}
+}
+
+// openDurable opens (or creates) the journal and rebuilds the compacted
+// event state from the snapshot plus the record tail.
+func (rn *Runner) openDurable(ctx context.Context, opts DurableOptions) (*durable, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("campaign: durable execution needs a journal directory")
+	}
+	j, open, err := journal.Open(opts.Dir, journal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		Sync:         opts.Sync,
+		Hook:         rn.journalHook(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening journal: %w", err)
+	}
+	d := &durable{j: j, opts: opts, terminal: map[string]event{}, retries: map[string][]event{}}
+	apply := func(ev event) {
+		switch ev.Type {
+		case evStart:
+			e := ev
+			d.start = &e
+		case evRetry:
+			d.retries[ev.Run] = append(d.retries[ev.Run], ev)
+		case evDone, evSkip, evQuarantine, evFail:
+			d.terminal[ev.Run] = ev
+		case evFit:
+			e := ev
+			d.fit = &e
+		}
+	}
+	if len(open.Snapshot) > 0 {
+		var evs []event
+		if err := json.Unmarshal(open.Snapshot, &evs); err != nil {
+			closeQuietJournal(j)
+			return nil, fmt.Errorf("campaign: journal snapshot at seq %d is not an event list: %w", open.SnapshotSeq, err)
+		}
+		for _, ev := range evs {
+			apply(ev)
+		}
+	}
+	for _, rec := range open.Tail {
+		var ev event
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			closeQuietJournal(j)
+			return nil, fmt.Errorf("campaign: journal record %d is not an event: %w", rec.Seq, err)
+		}
+		apply(ev)
+	}
+	if mt := obs.Meter(ctx); mt != nil && open.TornBytes > 0 {
+		mt.Counter("scaltool_journal_torn_tail_truncations_total",
+			"torn journal tails truncated during recovery").Inc()
+	}
+	if open.TornBytes > 0 {
+		obs.Log(ctx).Warn("journal: torn tail truncated on open", "dir", opts.Dir, "bytes", open.TornBytes)
+	}
+	return d, nil
+}
+
+func closeQuietJournal(j *journal.Journal) { _ = j.Close() }
+
+// record appends one event to the journal. Any failure (an injected crash
+// point or a real I/O error) leaves the event unapplied; the caller must
+// abort the campaign so resume re-derives the state.
+func (d *durable) record(ctx context.Context, ev event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding %s event: %w", ev.Type, err)
+	}
+	if _, err := d.j.Append(data); err != nil {
+		return fmt.Errorf("campaign: journaling %s event: %w", ev.Type, err)
+	}
+	if mt := obs.Meter(ctx); mt != nil {
+		mt.Counter("scaltool_journal_appends_total", "journal records appended").Inc()
+		mt.Counter("scaltool_journal_bytes_total", "journal bytes appended, framed").Add(uint64(journal.AppendedBytes(data)))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch ev.Type {
+	case evStart:
+		e := ev
+		d.start = &e
+	case evRetry:
+		d.retries[ev.Run] = append(d.retries[ev.Run], ev)
+	case evFit:
+		e := ev
+		d.fit = &e
+	case evDone, evSkip, evQuarantine, evFail:
+		d.terminal[ev.Run] = ev
+		d.sinceSnap++
+		if every := d.opts.snapshotEvery(); every > 0 && d.sinceSnap >= every {
+			d.sinceSnap = 0
+			blob, err := json.Marshal(d.compactLocked())
+			if err == nil {
+				err = d.j.Snapshot(blob)
+			}
+			if err != nil {
+				// A failed snapshot loses nothing: the full record tail is
+				// still in the segments. Log and carry on.
+				obs.Log(ctx).Warn("journal: snapshot failed; continuing on the record tail", "err", err)
+			} else if mt := obs.Meter(ctx); mt != nil {
+				mt.Counter("scaltool_journal_snapshots_total", "journal snapshots published").Inc()
+			}
+		}
+	}
+	return nil
+}
+
+// compactLocked builds the snapshot state: the start event, then each
+// terminal run's retry trace and terminal event (in run-identity order so
+// snapshots are deterministic), then the fit if one was recorded. Attempt
+// events and the retries of in-flight runs are dropped — resume regenerates
+// them by re-running those runs.
+func (d *durable) compactLocked() []event {
+	var out []event
+	if d.start != nil {
+		out = append(out, *d.start)
+	}
+	ids := make([]string, 0, len(d.terminal))
+	for id := range d.terminal {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, d.retries[id]...)
+		out = append(out, d.terminal[id])
+	}
+	if d.fit != nil {
+		out = append(out, *d.fit)
+	}
+	return out
+}
+
+// close flushes and closes the journal. Idempotent.
+func (d *durable) close() error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	return d.j.Close()
+}
+
+// ExecuteDurable is Execute with a write-ahead journal under opts.Dir: the
+// campaign start, every attempt, retry, and terminal run outcome is
+// journaled before it takes effect, with periodic compact snapshots. A
+// campaign killed at any point — even mid-append — is resumable with Resume,
+// to a byte-identical model breakdown. The directory must be empty or hold
+// only journal bookkeeping from a previous Open; resuming an interrupted
+// campaign through ExecuteDurable is refused, so a stale -journal-dir cannot
+// be silently overwritten.
+//
+// On success the journal is left open so Result.RecordFit can append the fit
+// event; call Result.CloseJournal when done. On error the journal is closed.
+func (rn *Runner) ExecuteDurable(ctx context.Context, app apps.App, plan Plan, opts DurableOptions) (*Result, error) {
+	d, err := rn.openDurable(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	if d.start != nil {
+		_ = d.close()
+		return nil, fmt.Errorf("campaign: journal %s already holds campaign %q; use Resume (or a fresh directory)", opts.Dir, d.start.App)
+	}
+	var spec string
+	if rn.Inject != nil {
+		spec = rn.Inject.Spec().String()
+	}
+	if err := d.record(ctx, event{Type: evStart, App: plan.App, Machine: rn.Cfg.Name, Plan: &plan, Spec: spec}); err != nil {
+		_ = d.close()
+		return nil, err
+	}
+	return rn.execute(ctx, app, plan, d)
+}
+
+// Resume replays the journal under opts.Dir and continues the interrupted
+// campaign: runs with a journaled terminal event are restored without
+// re-execution (Result.Resumed counts them), in-flight runs re-enter the
+// retry loop from their first attempt, and everything not yet started runs
+// normally. The runner's machine must match the journaled campaign's, and a
+// fault spec that targets an already-completed run is refused — the fault
+// could no longer fire, which would silently weaken a chaos experiment.
+func (rn *Runner) Resume(ctx context.Context, opts DurableOptions) (*Result, error) {
+	d, err := rn.openDurable(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	if d.start == nil {
+		_ = d.close()
+		return nil, fmt.Errorf("campaign: journal %s records no campaign start; nothing to resume", opts.Dir)
+	}
+	st := *d.start
+	if st.Plan == nil {
+		_ = d.close()
+		return nil, fmt.Errorf("campaign: journal %s start event carries no plan", opts.Dir)
+	}
+	app, err := apps.ByName(st.App)
+	if err != nil {
+		_ = d.close()
+		return nil, fmt.Errorf("campaign: resuming journal %s: %w", opts.Dir, err)
+	}
+	if st.Machine != "" && st.Machine != rn.Cfg.Name {
+		_ = d.close()
+		return nil, fmt.Errorf("campaign: journal %s was recorded on machine %q, runner is configured for %q",
+			opts.Dir, st.Machine, rn.Cfg.Name)
+	}
+	if rn.Inject != nil {
+		for _, id := range rn.Inject.Spec().TargetedRuns() {
+			if ev, ok := d.terminal[id]; ok {
+				_ = d.close()
+				return nil, fmt.Errorf("campaign: fault-spec targets run %s, but the journal already records it as %s; the fault can never fire", id, ev.Type)
+			}
+		}
+	}
+	return rn.execute(ctx, app, *st.Plan, d)
+}
+
+// replay restores one journaled terminal event into the Result, mirroring
+// exactly what accept/fail/skip did in the interrupted campaign. Returns an
+// error only when the replayed outcome was campaign-killing (a critical run
+// quarantined or failed), which aborts the resume the same way the original
+// campaign aborted.
+func (ex *executor) replay(ctx context.Context, j job, ev event, retries []event) error {
+	for _, r := range retries {
+		ex.res.Health.AddRetry(r.Run, r.Attempt, time.Duration(r.BackoffNS), errors.New(r.Reason))
+	}
+	switch ev.Type {
+	case evDone:
+		if ev.Report == nil {
+			return fmt.Errorf("campaign: journal done event for %s carries no report", j.id)
+		}
+		ex.res.Health.Add(ev.Findings...)
+		out := &sim.Result{
+			MachineName: ex.rn.Cfg.Name,
+			Procs:       ev.Report.Procs,
+			DataBytes:   ev.Report.DataBytes,
+			WallCycles:  counters.ToFloat(ev.Report.WallCycles),
+			Report:      *ev.Report,
+		}
+		ex.record(j, out)
+	case evSkip:
+		ex.mu.Lock()
+		ex.res.Skipped = append(ex.res.Skipped, j.size)
+		ex.mu.Unlock()
+	case evQuarantine:
+		ex.res.Health.Add(ev.Findings...)
+		ex.res.Health.AddQuarantine(j.id)
+		if criticalJob(j) {
+			return fmt.Errorf("campaign: critical run %s quarantined (replayed); the model cannot fit without it", j.id)
+		}
+	case evFail:
+		ex.res.Health.AddFailure(j.id, errors.New(ev.Reason))
+		if criticalJob(j) {
+			return fmt.Errorf("campaign: critical run %s failed permanently (replayed): %s", j.id, ev.Reason)
+		}
+	default:
+		return fmt.Errorf("campaign: journal records unknown terminal event %q for %s", ev.Type, j.id)
+	}
+	obs.Log(ctx).Debug("run replayed from journal", "run", j.id, "outcome", ev.Type)
+	return nil
+}
+
+// RecordFit appends the fit's headline estimates to the campaign journal, so
+// the journal is a complete record: plan, every run outcome, and the model
+// the campaign concluded with. No-op (and nil error) on a non-durable
+// Result or a closed journal.
+func (r *Result) RecordFit(ctx context.Context, m *model.Model) error {
+	if r.dur == nil || m == nil {
+		return nil
+	}
+	r.dur.mu.Lock()
+	closed := r.dur.closed
+	r.dur.mu.Unlock()
+	if closed {
+		return nil
+	}
+	return r.dur.record(ctx, event{Type: evFit, Fit: &fitSummary{
+		CPI0:     m.CPI0,
+		T2:       m.T2,
+		Tm1:      m.Tm1,
+		CpiImb:   m.CpiImb,
+		Points:   len(m.Points),
+		Degraded: m.Degradation.Degraded,
+	}})
+}
+
+// CloseJournal flushes and closes the campaign journal. Safe to call on a
+// non-durable Result and safe to call twice.
+func (r *Result) CloseJournal() error {
+	if r == nil || r.dur == nil {
+		return nil
+	}
+	return r.dur.close()
+}

@@ -40,8 +40,11 @@ func (r *Result) SaveReports(dir string) (int, error) {
 		if err != nil {
 			return fmt.Errorf("campaign: saving report for %s: %w", rep.Ident(), err)
 		}
-		defer f.Close()
 		if err := rep.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("campaign: writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
 			return fmt.Errorf("campaign: writing %s: %w", path, err)
 		}
 		n++

@@ -188,3 +188,68 @@ func TestLoadInputsTolerant(t *testing.T) {
 		t.Errorf("empty dir error %v does not wrap ErrInsufficientInputs", err)
 	}
 }
+
+// TestTolerantLoadDegenerateDirs drives the tolerant loaders into their two
+// degenerate corners — an empty directory, and a directory where every file
+// is quarantined — and requires a usable (non-nil, finalized) health report
+// and an ErrInsufficientInputs refusal in both, never a nil-map panic.
+func TestTolerantLoadDegenerateDirs(t *testing.T) {
+	opts := model.DefaultOptions(cfg().L2.SizeBytes)
+
+	// Empty directory: nothing to load is an insufficiency, not a crash.
+	empty := t.TempDir()
+	in, hr, err := LoadInputsTolerant(empty)
+	if !errors.Is(err, model.ErrInsufficientInputs) {
+		t.Fatalf("empty dir error %v does not wrap ErrInsufficientInputs", err)
+	}
+	if hr == nil {
+		t.Fatal("empty dir returned a nil health report")
+	}
+	if info, repairs, quarantines := hr.Counts(); info+repairs+quarantines != 0 {
+		t.Fatalf("empty dir produced findings: %s", hr.Summary())
+	}
+	if in.SyncKernel == nil {
+		t.Fatal("empty dir left Inputs.SyncKernel nil")
+	}
+	in.SyncKernel[1] = model.Measurement{} // must not panic
+	m, hr, err := FitDirTolerant(empty, opts)
+	if !errors.Is(err, model.ErrInsufficientInputs) || m != nil {
+		t.Fatalf("tolerant fit of empty dir: m=%v err=%v", m, err)
+	}
+	if hr == nil || hr.Summary() == "" {
+		t.Fatalf("tolerant fit of empty dir returned an unusable health report: %v", hr)
+	}
+
+	// Every file quarantined: the report must name each casualty and the
+	// load must still end in a stated insufficiency.
+	rotten := t.TempDir()
+	casualties := []string{"uni_p01_s64", "kspin_p01_s0"}
+	for _, id := range casualties {
+		if err := os.WriteFile(filepath.Join(rotten, id+".json"), []byte("not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, hr, err = LoadInputsTolerant(rotten)
+	if !errors.Is(err, model.ErrInsufficientInputs) {
+		t.Fatalf("all-quarantined dir error %v does not wrap ErrInsufficientInputs", err)
+	}
+	if len(hr.Quarantined) != len(casualties) {
+		t.Fatalf("quarantined %v, want %v", hr.Quarantined, casualties)
+	}
+	dropped := map[string]bool{}
+	for _, id := range in.DroppedRuns {
+		dropped[id] = true
+	}
+	for _, id := range casualties {
+		if !dropped[id] {
+			t.Fatalf("DroppedRuns %v is missing quarantined file %s", in.DroppedRuns, id)
+		}
+	}
+	m, hr, err = FitDirTolerant(rotten, opts)
+	if !errors.Is(err, model.ErrInsufficientInputs) || m != nil {
+		t.Fatalf("tolerant fit of all-quarantined dir: m=%v err=%v", m, err)
+	}
+	if _, _, quarantines := hr.Counts(); quarantines != len(casualties) {
+		t.Fatalf("health report lost the quarantines: %s", hr.Summary())
+	}
+}

@@ -1,0 +1,239 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaltool/internal/obs"
+)
+
+// This file is the worker supervisor: per-worker heartbeats, a watchdog
+// that cancels and restarts workers that miss their deadline, and a bounded
+// restart budget after which the run is quarantined through internal/health.
+//
+// The per-attempt deadline (Runner.RunTimeout) bounds how long one attempt
+// may take; the heartbeat deadline (Runner.HeartbeatTimeout) bounds how
+// long a worker may go without making *progress*. A simulator stuck in a
+// livelock inside one region blows the heartbeat long before any generous
+// whole-run deadline, and the watchdog restarts just that worker instead of
+// waiting out — or killing — the campaign.
+//
+// State machine of one supervised worker (DESIGN §10):
+//
+//	      arm                    beat            disarm
+//	idle ────▶ running ──(progress)──▶ running ────▶ idle
+//	              │ heartbeat missed
+//	              ▼
+//	          kicked ──(restarts ≤ MaxWorkerRestarts)──▶ re-armed (retry loop)
+//	              │ restarts exceeded
+//	              ▼
+//	          poisoned ──▶ run quarantined in the health report
+type supervisor struct {
+	timeout     time.Duration
+	maxRestarts int
+	mt          *obs.Metrics
+
+	mu      sync.Mutex
+	workers map[string]*worker
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// worker is the supervisor's view of one run's goroutine.
+type worker struct {
+	id   string
+	sup  *supervisor
+	beat atomic.Int64 // unix nanos of the last heartbeat
+
+	mu       sync.Mutex
+	cancel   context.CancelFunc // cancels the current attempt; nil when idle
+	kicked   bool               // watchdog canceled the current attempt
+	poisoned bool               // restart budget exhausted
+	restarts int
+}
+
+// newSupervisor builds a supervisor with the given heartbeat deadline and
+// restart budget. Returns nil when the deadline is unset (watchdog off).
+func newSupervisor(timeout time.Duration, maxRestarts int, mt *obs.Metrics) *supervisor {
+	if timeout <= 0 {
+		return nil
+	}
+	return &supervisor{
+		timeout:     timeout,
+		maxRestarts: maxRestarts,
+		mt:          mt,
+		workers:     map[string]*worker{},
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// start launches the watchdog. ctx cancellation stops it, as does stopWait.
+// Safe on nil.
+func (s *supervisor) start(ctx context.Context) {
+	if s == nil {
+		return
+	}
+	go s.watch(ctx)
+}
+
+// stopWait shuts the watchdog down and waits for it to exit. Safe on nil.
+func (s *supervisor) stopWait() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}
+
+// watch is the watchdog loop: every quarter deadline it scans the armed
+// workers and kicks (or poisons) any whose last heartbeat is stale.
+func (s *supervisor) watch(ctx context.Context) {
+	defer close(s.done)
+	tick := s.timeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.scan(ctx)
+		}
+	}
+}
+
+// scan kicks every armed worker whose heartbeat is older than the deadline.
+func (s *supervisor) scan(ctx context.Context) {
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	stale := make([]*worker, 0, 1)
+	for _, w := range s.workers {
+		if now-w.beat.Load() > int64(s.timeout) {
+			stale = append(stale, w)
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range stale {
+		w.kick(ctx, s.maxRestarts)
+	}
+}
+
+// register adds (or re-fetches) the worker for a run. Safe on nil, which
+// returns a nil worker (all of whose methods are no-ops).
+func (s *supervisor) register(id string) *worker {
+	if s == nil {
+		return nil
+	}
+	w := &worker{id: id, sup: s}
+	w.beat.Store(time.Now().UnixNano())
+	s.mu.Lock()
+	s.workers[id] = w
+	s.mu.Unlock()
+	if g := s.mt.Gauge("scaltool_supervisor_workers_active", "campaign workers currently supervised"); g != nil {
+		s.mu.Lock()
+		g.Set(float64(len(s.workers)))
+		s.mu.Unlock()
+	}
+	return w
+}
+
+// release removes a finished worker. Safe on nil.
+func (s *supervisor) release(id string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.workers, id)
+	n := len(s.workers)
+	s.mu.Unlock()
+	s.mt.Gauge("scaltool_supervisor_workers_active", "campaign workers currently supervised").Set(float64(n))
+}
+
+// kick handles one missed heartbeat: cancel the worker's current attempt
+// and either grant a restart or poison the run.
+func (w *worker) kick(ctx context.Context, maxRestarts int) {
+	w.mu.Lock()
+	cancel := w.cancel
+	if cancel == nil { // attempt already finished; nothing to reap
+		w.mu.Unlock()
+		return
+	}
+	w.cancel = nil
+	if w.restarts >= maxRestarts {
+		w.poisoned = true
+	} else {
+		w.restarts++
+		w.kicked = true
+	}
+	restarts, poisoned := w.restarts, w.poisoned
+	w.mu.Unlock()
+
+	if mt := w.sup.mt; mt != nil {
+		if poisoned {
+			mt.Counter("scaltool_supervisor_quarantines_total", "runs quarantined after exhausting watchdog restarts").Inc()
+		} else {
+			mt.Counter("scaltool_supervisor_restarts_total", "workers restarted after a missed heartbeat").Inc()
+		}
+	}
+	obs.Log(ctx).Warn("watchdog: heartbeat missed", "run", w.id,
+		"restarts", restarts, "max_restarts", maxRestarts, "poisoned", poisoned)
+	cancel()
+}
+
+// heartbeat records progress. The simulator calls it at region boundaries
+// (sim.WithHeartbeat); the run loop calls it at attempt boundaries. Safe on
+// nil.
+func (w *worker) heartbeat() {
+	if w == nil {
+		return
+	}
+	w.beat.Store(time.Now().UnixNano())
+	w.sup.mt.Counter("scaltool_supervisor_heartbeats_total", "worker progress heartbeats observed").Inc()
+}
+
+// arm installs the cancel func of a new attempt and resets the kicked flag.
+// Safe on nil.
+func (w *worker) arm(cancel context.CancelFunc) {
+	if w == nil {
+		return
+	}
+	w.heartbeat()
+	w.mu.Lock()
+	w.cancel = cancel
+	w.kicked = false
+	w.mu.Unlock()
+}
+
+// disarm detaches the watchdog from a finished attempt and reports whether
+// the watchdog fired on it (kicked) and whether the restart budget is
+// exhausted (poisoned). Safe on nil.
+func (w *worker) disarm() (kicked, poisoned bool) {
+	if w == nil {
+		return false, false
+	}
+	w.heartbeat()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cancel = nil
+	return w.kicked, w.poisoned
+}
+
+// restartCount returns how many times the watchdog restarted this worker.
+// Safe on nil.
+func (w *worker) restartCount() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.restarts
+}

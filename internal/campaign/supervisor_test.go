@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/faultinject"
+	"scaltool/internal/obs"
+)
+
+// supervisorRunner builds a runner with the watchdog armed: a generous
+// per-attempt deadline (so only the heartbeat can reap a hang) and a short
+// heartbeat so the tests stay fast.
+func supervisorRunner(spec faultinject.Spec, heartbeat time.Duration, maxRestarts int) *Runner {
+	return &Runner{
+		Cfg:               cfg(),
+		Inject:            faultinject.New(spec),
+		RunTimeout:        time.Minute,
+		HeartbeatTimeout:  heartbeat,
+		MaxWorkerRestarts: maxRestarts,
+	}
+}
+
+// TestSupervisorRestartsStalledWorker hangs one non-critical run's first
+// attempt. The watchdog must cancel the stalled attempt and restart it —
+// without consuming the retry budget (MaxRetries is 0 here) — and the
+// campaign must complete with the restart visible in the health report and
+// the supervisor metrics.
+func TestSupervisorRestartsStalledWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	app, err := apps.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(app, cfg(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled := RunID("ksync", 2, 0)
+	rn := supervisorRunner(faultinject.Spec{Seed: 7, StallRuns: []string{stalled}}, 150*time.Millisecond, 2)
+
+	mt := obs.NewMetrics()
+	ctx := obs.NewContext(context.Background(), &obs.Observer{Metrics: mt})
+	res, err := rn.Execute(ctx, app, plan)
+	if err != nil {
+		t.Fatalf("campaign with one stalled worker: %v", err)
+	}
+	if _, ok := res.SyncKernels[2]; !ok {
+		t.Fatalf("stalled run %s never completed after its watchdog restart", stalled)
+	}
+	found := false
+	for _, r := range res.Health.Retries {
+		if r.Run == stalled && strings.Contains(r.Reason, "watchdog") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no watchdog retry recorded for %s; retries: %+v", stalled, res.Health.Retries)
+	}
+	if v := mt.Counter("scaltool_supervisor_restarts_total", "").Value(); v == 0 {
+		t.Fatal("watchdog restarted a worker but the restart counter is zero")
+	}
+	if v := mt.Counter("scaltool_supervisor_heartbeats_total", "").Value(); v == 0 {
+		t.Fatal("no heartbeats observed during a supervised campaign")
+	}
+	if v := mt.Counter("scaltool_supervisor_quarantines_total", "").Value(); v != 0 {
+		t.Fatalf("run recovered on restart but %d quarantines were recorded", v)
+	}
+}
+
+// TestSupervisorQuarantinesHungWorker makes every attempt hang. Each worker
+// must be restarted at most MaxWorkerRestarts times and then have its run
+// quarantined; quarantining a critical run aborts the campaign with a
+// watchdog error.
+func TestSupervisorQuarantinesHungWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	app, err := apps.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(app, cfg(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hang probability 1 with a deep MaxFailures budget: the run can never
+	// make progress, so only the watchdog's restart bound ends it.
+	rn := supervisorRunner(faultinject.Spec{Seed: 7, Hang: 1, MaxFailures: 1000}, 100*time.Millisecond, 1)
+	rn.Workers = 2
+
+	mt := obs.NewMetrics()
+	ctx := obs.NewContext(context.Background(), &obs.Observer{Metrics: mt})
+	_, err = rn.Execute(ctx, app, plan)
+	if err == nil {
+		t.Fatal("campaign of permanently hung runs reported success")
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("campaign died of the wrong cause: %v", err)
+	}
+	if v := mt.Counter("scaltool_supervisor_quarantines_total", "").Value(); v == 0 {
+		t.Fatal("hung workers exhausted their restarts but no quarantine was counted")
+	}
+}
+
+// TestSupervisorOffByDefault checks a zero HeartbeatTimeout leaves the
+// watchdog out of the loop entirely (nil supervisor, nil workers).
+func TestSupervisorOffByDefault(t *testing.T) {
+	if built := newSupervisor(0, 3, nil); built != nil {
+		t.Fatal("zero heartbeat timeout built a supervisor")
+	}
+	var s *supervisor
+	s.start(context.Background())
+	s.stopWait()
+	w := s.register("x")
+	if w != nil {
+		t.Fatal("nil supervisor registered a worker")
+	}
+	w.heartbeat()
+	w.arm(nil)
+	if k, p := w.disarm(); k || p {
+		t.Fatal("nil worker reports watchdog activity")
+	}
+	s.release("x")
+}

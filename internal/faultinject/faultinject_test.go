@@ -3,6 +3,7 @@ package faultinject
 import (
 	"bytes"
 	"reflect"
+	"sort"
 	"testing"
 
 	"scaltool/internal/counters"
@@ -219,5 +220,46 @@ func TestSpecParseErrors(t *testing.T) {
 	}
 	if s, err := ParseSpec("  "); err != nil || s.Active() {
 		t.Errorf("blank spec: %+v, %v", s, err)
+	}
+}
+
+// TestSpecParseJournalKeys covers the durability fault keys: parse, render,
+// round-trip, and the Active/JournalTargets/TargetedRuns views the journal
+// hook and the resume pre-flight rely on.
+func TestSpecParseJournalKeys(t *testing.T) {
+	spec, err := ParseSpec("seed=9,crashappend=3,tornappend=7,fsyncfail=11,failrun=a,stallrun=b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.CrashAppend != 3 || spec.TornAppend != 7 || spec.FsyncFail != 11 {
+		t.Fatalf("parsed journal counts %+v", spec)
+	}
+	if !spec.Active() || !spec.JournalTargets() {
+		t.Fatalf("journal-fault spec reported inactive: %+v", spec)
+	}
+	targets := spec.TargetedRuns()
+	sort.Strings(targets)
+	if !reflect.DeepEqual(targets, []string{"a", "b"}) {
+		t.Fatalf("TargetedRuns = %v", targets)
+	}
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", spec.String(), err)
+	}
+	if !reflect.DeepEqual(spec, again) {
+		t.Fatalf("journal keys round trip changed the spec:\n  %+v\n  %+v", spec, again)
+	}
+	for _, one := range []Spec{{CrashAppend: 1}, {TornAppend: 1}, {FsyncFail: 1}} {
+		if !one.Active() || !one.JournalTargets() {
+			t.Errorf("spec %+v must be active and journal-targeting", one)
+		}
+	}
+	if (Spec{Seed: 1}).JournalTargets() {
+		t.Error("seed-only spec claims journal targets")
+	}
+	for _, bad := range []string{"crashappend=-1", "tornappend=x", "fsyncfail=1.5"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
 	}
 }

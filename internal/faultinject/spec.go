@@ -39,6 +39,21 @@ type Spec struct {
 	// policy always converges (default 1).
 	MaxFailures int
 
+	// Durability faults, for the write-ahead journal (internal/journal).
+	// Append and sync counts are 1-based and campaign-wide, so a sweep over
+	// CrashAppend = 1..N kills the campaign at every journal write — the
+	// crash-recovery invariant test. 0 disables each.
+
+	// CrashAppend kills the process model cleanly before the Nth journal
+	// append: the record never reaches the file.
+	CrashAppend uint64
+	// TornAppend kills it midway through the Nth append: half the record's
+	// frame lands on disk (a torn write the journal must truncate on open).
+	TornAppend uint64
+	// FsyncFail makes the Nth journal fsync report failure: the record is
+	// in the page cache but has no durability guarantee.
+	FsyncFail uint64
+
 	// Targeted faults, by run identity.
 	FailRuns   []string // fail transiently on the first attempt
 	StallRuns  []string // hang on the first attempt
@@ -68,8 +83,9 @@ func (s *Spec) listFields() map[string]*[]string {
 //	seed=42,noise=0.02,transient=0.1,maxfail=2,failrun=base_p04_s1048576
 //
 // Keys: seed, maxfail (integers); noise, drop, wrap, transient, hang,
-// truncate, corrupt (probabilities in [0,1]); failrun, stallrun, poisonrun,
-// skewrun (run identities, repeatable).
+// truncate, corrupt (probabilities in [0,1]); crashappend, tornappend,
+// fsyncfail (1-based journal operation counts); failrun, stallrun,
+// poisonrun, skewrun (run identities, repeatable).
 func ParseSpec(text string) (Spec, error) {
 	var s Spec
 	text = strings.TrimSpace(text)
@@ -99,6 +115,19 @@ func ParseSpec(text string) (Spec, error) {
 				return s, fmt.Errorf("faultinject: maxfail %q must be a non-negative integer", v)
 			}
 			s.MaxFailures = n
+		case "crashappend", "tornappend", "fsyncfail":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("faultinject: %s %q must be a non-negative integer", k, v)
+			}
+			switch k {
+			case "crashappend":
+				s.CrashAppend = n
+			case "tornappend":
+				s.TornAppend = n
+			case "fsyncfail":
+				s.FsyncFail = n
+			}
 		default:
 			if fp, ok := s.floatFields()[k]; ok {
 				f, err := strconv.ParseFloat(v, 64)
@@ -142,6 +171,14 @@ func (s Spec) String() string {
 	if s.MaxFailures > 0 {
 		parts = append(parts, fmt.Sprintf("maxfail=%d", s.MaxFailures))
 	}
+	for _, c := range []struct {
+		key string
+		n   uint64
+	}{{"crashappend", s.CrashAppend}, {"tornappend", s.TornAppend}, {"fsyncfail", s.FsyncFail}} {
+		if c.n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c.key, c.n))
+		}
+	}
 	lists := s.listFields()
 	lkeys := make([]string, 0, len(lists))
 	for k := range lists {
@@ -162,6 +199,9 @@ func (s Spec) Active() bool {
 		if f > 0 {
 			return true
 		}
+	}
+	if s.CrashAppend > 0 || s.TornAppend > 0 || s.FsyncFail > 0 {
+		return true
 	}
 	return len(s.FailRuns)+len(s.StallRuns)+len(s.PoisonRuns)+len(s.SkewRuns) > 0
 }

@@ -1,0 +1,363 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openClean(t *testing.T, dir string, opts Options) (*Journal, *OpenResult) {
+	t.Helper()
+	j, res, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, res
+}
+
+func appendAll(t *testing.T, j *Journal, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if _, err := j.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func tailStrings(res *OpenResult) []string {
+	out := make([]string, 0, len(res.Tail))
+	for _, r := range res.Tail {
+		out = append(out, string(r.Data))
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openClean(t, dir, Options{})
+	want := []string{"one", "two", "three"}
+	appendAll(t, j, want...)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, res := openClean(t, dir, Options{})
+	defer j2.Close()
+	got := tailStrings(res)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i, r := range res.Tail {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	if res.TornBytes != 0 {
+		t.Errorf("clean journal reported %d torn bytes", res.TornBytes)
+	}
+	// The reopened journal keeps appending where the first left off.
+	seq, err := j2.Append([]byte("four"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Errorf("resumed append got seq %d, want 4", seq)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	for cut := 1; cut < headerBytes+4; cut++ {
+		dir := t.TempDir()
+		j, _ := openClean(t, dir, Options{})
+		appendAll(t, j, "aaaa", "bbbb", "cccc")
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Chop `cut` bytes off the tail: a torn final record.
+		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("segments: %v, %v", segs, err)
+		}
+		st, err := os.Stat(segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(segs[0], st.Size()-int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		j2, res := openClean(t, dir, Options{})
+		if got := tailStrings(res); fmt.Sprint(got) != fmt.Sprint([]string{"aaaa", "bbbb"}) {
+			t.Fatalf("cut=%d: replayed %v, want [aaaa bbbb]", cut, got)
+		}
+		if res.TornBytes == 0 {
+			t.Errorf("cut=%d: torn truncation not reported", cut)
+		}
+		// The truncated journal accepts new appends at the right sequence.
+		seq, err := j2.Append([]byte("c2"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != 3 {
+			t.Errorf("cut=%d: next seq %d, want 3", cut, seq)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, res2 := openClean(t, dir, Options{})
+		if got := tailStrings(res2); fmt.Sprint(got) != fmt.Sprint([]string{"aaaa", "bbbb", "c2"}) {
+			t.Fatalf("cut=%d: after repair+append replayed %v", cut, got)
+		}
+	}
+}
+
+func TestCorruptMiddleRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openClean(t, dir, Options{SegmentBytes: 32}) // rotate every record
+	appendAll(t, j, strings.Repeat("a", 24), strings.Repeat("b", 24), strings.Repeat("c", 24))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("want ≥ 3 segments, got %v", segs)
+	}
+	// Flip a payload byte in the FIRST segment: not a tail, so not repairable.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerBytes] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open error %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentRotationAndSequenceContinuity(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openClean(t, dir, Options{SegmentBytes: 64})
+	var want []string
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("payload-%02d", i)
+		want = append(want, p)
+	}
+	appendAll(t, j, want...)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("rotation produced %d segments, want ≥ 3", len(segs))
+	}
+	_, res := openClean(t, dir, Options{})
+	if got := tailStrings(res); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotCompactsSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openClean(t, dir, Options{SegmentBytes: 64})
+	appendAll(t, j, "r1", "r2", "r3", "r4", "r5")
+	if err := j.Snapshot([]byte("STATE:r1..r5")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, "r6", "r7")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res := openClean(t, dir, Options{})
+	if string(res.Snapshot) != "STATE:r1..r5" {
+		t.Fatalf("snapshot = %q", res.Snapshot)
+	}
+	if res.SnapshotSeq != 5 {
+		t.Errorf("snapshot seq = %d, want 5", res.SnapshotSeq)
+	}
+	if got := tailStrings(res); fmt.Sprint(got) != fmt.Sprint([]string{"r6", "r7"}) {
+		t.Fatalf("tail after snapshot = %v, want [r6 r7]", got)
+	}
+}
+
+func TestSnapshotSurvivesTornSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openClean(t, dir, Options{})
+	appendAll(t, j, "r1", "r2")
+	if err := j.Snapshot([]byte("GOOD")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, "r3")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A later snapshot that crashed mid-write: garbage content.
+	if err := os.WriteFile(filepath.Join(dir, snapName(3)), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, res := openClean(t, dir, Options{})
+	if string(res.Snapshot) != "GOOD" {
+		t.Fatalf("snapshot = %q, want the previous valid one", res.Snapshot)
+	}
+	if got := tailStrings(res); fmt.Sprint(got) != fmt.Sprint([]string{"r3"}) {
+		t.Fatalf("tail = %v, want [r3]", got)
+	}
+}
+
+func TestHookCrashBeforeAppend(t *testing.T) {
+	dir := t.TempDir()
+	crashAt := uint64(3)
+	hook := func(op Op, n uint64) error {
+		if op == OpAppend && n == crashAt {
+			return errors.New("injected crash")
+		}
+		return nil
+	}
+	j, _ := openClean(t, dir, Options{Hook: hook})
+	appendAll(t, j, "r1", "r2")
+	if _, err := j.Append([]byte("r3")); err == nil {
+		t.Fatal("append survived the injected crash")
+	}
+	// The journal is broken: nothing more goes in.
+	if _, err := j.Append([]byte("r4")); err == nil {
+		t.Fatal("broken journal accepted an append")
+	}
+	_ = j.Close()
+	_, res := openClean(t, dir, Options{})
+	if got := tailStrings(res); fmt.Sprint(got) != fmt.Sprint([]string{"r1", "r2"}) {
+		t.Fatalf("replayed %v, want [r1 r2]", got)
+	}
+}
+
+func TestHookTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	hook := func(op Op, n uint64) error {
+		if op == OpAppend && n == 3 {
+			return fmt.Errorf("mid-write death: %w", ErrTornWrite)
+		}
+		return nil
+	}
+	j, _ := openClean(t, dir, Options{Hook: hook})
+	appendAll(t, j, "r1", "r2")
+	if _, err := j.Append([]byte("r3")); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	_ = j.Close()
+	// The file holds half a frame; Open must truncate it away.
+	_, res := openClean(t, dir, Options{})
+	if got := tailStrings(res); fmt.Sprint(got) != fmt.Sprint([]string{"r1", "r2"}) {
+		t.Fatalf("replayed %v, want [r1 r2]", got)
+	}
+	if res.TornBytes == 0 {
+		t.Error("torn bytes not reported")
+	}
+}
+
+func TestHookFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	hook := func(op Op, n uint64) error {
+		if op == OpSync && n == 2 {
+			return errors.New("EIO")
+		}
+		return nil
+	}
+	j, _ := openClean(t, dir, Options{Hook: hook})
+	appendAll(t, j, "r1")
+	if _, err := j.Append([]byte("r2")); err == nil {
+		t.Fatal("append with failed fsync reported success")
+	}
+	if _, err := j.Append([]byte("r3")); err == nil {
+		t.Fatal("journal not broken after fsync failure")
+	}
+	_ = j.Close()
+	// r2 hit the file (page cache) but was never synced: both the
+	// record-present and record-lost crash outcomes must replay cleanly.
+	_, res := openClean(t, dir, Options{})
+	got := tailStrings(res)
+	if fmt.Sprint(got) != fmt.Sprint([]string{"r1", "r2"}) && fmt.Sprint(got) != fmt.Sprint([]string{"r1"}) {
+		t.Fatalf("replayed %v, want [r1 r2] or [r1]", got)
+	}
+}
+
+func TestEmptyAndOversizeRecordsRefused(t *testing.T) {
+	j, _ := openClean(t, t.TempDir(), Options{})
+	defer j.Close()
+	if _, err := j.Append(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if _, err := j.Append(bytes.Repeat([]byte("x"), maxRecordBytes+1)); err == nil {
+		t.Error("oversize record accepted")
+	}
+	// Neither refusal breaks the journal.
+	if _, err := j.Append([]byte("ok")); err != nil {
+		t.Errorf("journal broken by refused records: %v", err)
+	}
+}
+
+func TestClosedJournalRefusesWork(t *testing.T) {
+	j, _ := openClean(t, t.TempDir(), Options{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := j.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close: %v, want ErrClosed", err)
+	}
+	if err := j.Snapshot([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("snapshot after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestSyncNonePolicyStillReplays(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openClean(t, dir, Options{Sync: SyncNone})
+	appendAll(t, j, "a", "b", "c")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, res := openClean(t, dir, Options{})
+	if got := tailStrings(res); fmt.Sprint(got) != fmt.Sprint([]string{"a", "b", "c"}) {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestConcurrentAppendsAllSurvive(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openClean(t, dir, Options{Sync: SyncNone, SegmentBytes: 256})
+	const n = 64
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := j.Append([]byte(fmt.Sprintf("rec-%02d", i)))
+			done <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, res := openClean(t, dir, Options{})
+	if len(res.Tail) != n {
+		t.Fatalf("replayed %d records, want %d", len(res.Tail), n)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Tail {
+		seen[string(r.Data)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("replay lost records: %d distinct of %d", len(seen), n)
+	}
+}

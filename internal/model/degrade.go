@@ -19,6 +19,33 @@ import (
 // anchor, or missing a kernel. Test with errors.Is.
 var ErrInsufficientInputs = errors.New("model: insufficient inputs")
 
+// InsufficientInputsError is the typed form of an ErrInsufficientInputs
+// refusal: the reason, plus the Degradation record of the input set at the
+// moment the fit gave up — so a campaign caller can see exactly which
+// dropped or quarantined runs starved the fit. Unwrap yields
+// ErrInsufficientInputs, so errors.Is keeps working through any wrapping;
+// extract the record with errors.As.
+type InsufficientInputsError struct {
+	Reason      string
+	Degradation Degradation
+}
+
+func (e *InsufficientInputsError) Error() string {
+	return e.Reason + ": " + ErrInsufficientInputs.Error()
+}
+
+// Unwrap ties the typed error to the ErrInsufficientInputs sentinel.
+func (e *InsufficientInputsError) Unwrap() error { return ErrInsufficientInputs }
+
+// insufficient builds the typed refusal, capturing the inputs' dropped-run
+// record so the error is self-explanatory after any amount of wrapping.
+func (in *Inputs) insufficient(format string, args ...any) error {
+	d := Degradation{DroppedRuns: append([]string(nil), in.DroppedRuns...)}
+	sort.Strings(d.DroppedRuns)
+	d.Degraded = len(d.DroppedRuns) > 0
+	return &InsufficientInputsError{Reason: fmt.Sprintf(format, args...), Degradation: d}
+}
+
 // Degradation is the typed record of everything a fit had to do without.
 // The zero value means the fit ran on the full expected input set.
 type Degradation struct {

@@ -161,8 +161,8 @@ func fitModel(in Inputs, opt Options) (*Model, error) {
 			}
 		}
 		if len(over) < 2 {
-			return 0, 0, 0, fmt.Errorf("model: only %d uniproc runs overflow the L2 (threshold %d bytes); need ≥ 2 for the t2/tm least squares: %w",
-				len(over), overflowAt, ErrInsufficientInputs)
+			return 0, 0, 0, in.insufficient("model: only %d uniproc runs overflow the L2 (threshold %d bytes); need ≥ 2 for the t2/tm least squares",
+				len(over), overflowAt)
 		}
 		// A measurement set with essentially no cache misses (e.g. a
 		// compute/barrier-only segment) cannot identify t2/tm — and does
@@ -411,7 +411,7 @@ func fitModel(in Inputs, opt Options) (*Model, error) {
 		m.Points = append(m.Points, pe)
 	}
 	if m.Points[0].Procs != 1 {
-		return nil, fmt.Errorf("model: base runs must include a uniprocessor run: %w", ErrInsufficientInputs)
+		return nil, in.insufficient("model: base runs must include a uniprocessor run")
 	}
 	m.Degradation = degradationOf(&in, uni, base, m.Points)
 	return m, nil

@@ -165,10 +165,10 @@ func (in *Inputs) validate(opt Options) error {
 		return errors.New("model: Options.L2Bytes must be positive")
 	}
 	if len(in.Base) == 0 {
-		return fmt.Errorf("model: no base-size runs: %w", ErrInsufficientInputs)
+		return in.insufficient("model: no base-size runs")
 	}
 	if len(in.Uniproc) < 3 {
-		return fmt.Errorf("model: %d uniprocessor runs; need ≥ 3 (a small run plus ≥ 2 L2-overflowing sizes): %w", len(in.Uniproc), ErrInsufficientInputs)
+		return in.insufficient("model: %d uniprocessor runs; need ≥ 3 (a small run plus ≥ 2 L2-overflowing sizes)", len(in.Uniproc))
 	}
 	for i, m := range in.Base {
 		if m.Procs <= 0 || m.Instr == 0 {
@@ -183,16 +183,16 @@ func (in *Inputs) validate(opt Options) error {
 		haveUni = true
 	}
 	if !haveUni {
-		return fmt.Errorf("model: no uniprocessor runs: %w", ErrInsufficientInputs)
+		return in.insufficient("model: no uniprocessor runs")
 	}
 	if in.Base[0].DataBytes == 0 {
 		return errors.New("model: base runs lack data sizes")
 	}
 	if in.SpinCPI <= 0 {
-		return fmt.Errorf("model: SpinCPI missing (run the spin kernel): %w", ErrInsufficientInputs)
+		return in.insufficient("model: SpinCPI missing (run the spin kernel)")
 	}
 	if len(in.SyncKernel) == 0 {
-		return fmt.Errorf("model: sync kernel runs missing: %w", ErrInsufficientInputs)
+		return in.insufficient("model: sync kernel runs missing")
 	}
 	return nil
 }

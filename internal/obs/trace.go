@@ -126,7 +126,7 @@ func (t *Tracer) WriteFile(path string) error {
 		return err
 	}
 	if err := t.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

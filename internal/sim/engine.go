@@ -105,10 +105,14 @@ func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result
 	e.mem.HomeOf(prog.BarrierAddr(), 0)
 	e.mem.HomeOf(prog.LockAddr(), 0)
 
+	beat := heartbeatFrom(ctx)
 	for i := range prog.Regions() {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sim: run of %s stopped after %d of %d regions: %w",
 				prog.Name, i, len(prog.Regions()), err)
+		}
+		if beat != nil {
+			beat()
 		}
 		e.runRegion(ctx, &prog.Regions()[i])
 	}

@@ -1,0 +1,26 @@
+package sim
+
+import "context"
+
+// heartbeatKey carries the progress callback installed by WithHeartbeat.
+type heartbeatKey struct{}
+
+// WithHeartbeat returns a context whose simulated runs invoke fn at every
+// barrier-region boundary — the engine's quiescent points, the same places
+// cancellation is checked. The campaign's worker supervisor installs its
+// per-worker heartbeat here so a run that is still making progress is
+// distinguishable from one that is wedged, without instrumenting the
+// per-access hot loop. fn must be cheap and safe to call from the run's
+// goroutine; a nil fn returns ctx unchanged.
+func WithHeartbeat(ctx context.Context, fn func()) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, heartbeatKey{}, fn)
+}
+
+// heartbeatFrom extracts the WithHeartbeat callback, or nil.
+func heartbeatFrom(ctx context.Context) func() {
+	fn, _ := ctx.Value(heartbeatKey{}).(func())
+	return fn
+}

@@ -13,11 +13,14 @@ go test ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test -race (sim, campaign, obs)"
-go test -race ./internal/sim/... ./internal/campaign/... ./internal/obs/...
+echo "==> go test -race (sim, campaign, obs; resume sweeps run in their own gate below)"
+go test -race -skip 'Chaos.*Resume' ./internal/sim/... ./internal/campaign/... ./internal/obs/...
 
 echo "==> chaos smoke (fault-injected campaigns under the race detector)"
-go test -run Chaos -race ./internal/campaign/...
+go test -run Chaos -skip 'Chaos.*Resume' -race ./internal/campaign/...
+
+echo "==> kill-resume chaos gate (killed at every journal op; resume must be byte-identical)"
+go test -run 'Chaos.*Resume' -race ./internal/campaign/...
 
 echo "==> observability e2e (tiny campaign; trace + metrics must parse)"
 go test -run TestObsEndToEnd ./cmd/scaltool/
