@@ -31,10 +31,12 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // -pprof-addr serves the default mux
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +50,7 @@ import (
 	"scaltool/internal/model"
 	"scaltool/internal/obs"
 	"scaltool/internal/perftools"
+	"scaltool/internal/runcache"
 	"scaltool/internal/table"
 	"scaltool/internal/whatif"
 )
@@ -121,6 +124,9 @@ type common struct {
 	heartbeat     *time.Duration
 	maxRestarts   *int
 
+	cacheMB  *int
+	cacheDir *string
+
 	traceOut   *string
 	metricsOut *string
 	logLevel   *string
@@ -149,6 +155,9 @@ func commonFlags(name string) *common {
 		shutdownGrace: fs.Duration("shutdown-grace", 10*time.Second, "grace period for a SIGINT/SIGTERM stop before the process force-exits"),
 		heartbeat:     fs.Duration("heartbeat-timeout", 0, "worker watchdog: restart a run making no progress for this long (0 = off)"),
 		maxRestarts:   fs.Int("max-worker-restarts", 2, "watchdog restarts one run gets before it is quarantined"),
+
+		cacheMB:  fs.Int("run-cache-mb", 0, "content-addressed run cache budget in MiB (0 = off): repeated (machine, program) runs skip re-simulation"),
+		cacheDir: fs.String("run-cache-dir", "", "spill evicted run-cache entries to this directory (needs -run-cache-mb)"),
 		traceOut:   fs.String("trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)"),
 		metricsOut: fs.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file"),
 		logLevel:   fs.String("log-level", "warn", "structured log level: debug | info | warn | error"),
@@ -172,23 +181,34 @@ func (c *common) observe() (context.Context, func() error, error) {
 	if *c.traceOut != "" {
 		o.Trace = obs.NewTracer()
 	}
+	var pprofSrv *http.Server
 	if *c.pprofAddr != "" {
+		// Bind synchronously so a bad or taken address fails the command
+		// here — before any simulation starts — instead of surfacing
+		// asynchronously from a server goroutine after main has moved on.
+		ln, err := net.Listen("tcp", *c.pprofAddr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pprof server: %w", err)
+		}
 		o.Metrics.PublishExpvar("scaltool") // /debug/vars
-		mt := o.Metrics
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if err := mt.WritePrometheus(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		addr := *c.pprofAddr
+		pprofSrv = &http.Server{Handler: pprofMux(o.Metrics)}
 		go func() {
-			if err := http.ListenAndServe(addr, nil); err != nil {
+			if err := pprofSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "scaltool: pprof server:", err)
 			}
 		}()
 	}
 	flush := func() error {
+		if pprofSrv != nil {
+			// Drain the debug server with the command's work: a short
+			// grace for in-flight scrapes, then close, so the listener
+			// never outlives the campaign it observed.
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			if err := pprofSrv.Shutdown(sctx); err != nil {
+				_ = pprofSrv.Close()
+			}
+		}
 		if *c.traceOut != "" {
 			if err := o.Trace.WriteFile(*c.traceOut); err != nil {
 				return fmt.Errorf("trace: %w", err)
@@ -212,6 +232,27 @@ func (c *common) observe() (context.Context, func() error, error) {
 	return obs.NewContext(context.Background(), o), flush, nil
 }
 
+// pprofMux builds the debug server's handler on a dedicated mux — pprof,
+// /metrics, and /debug/vars — so nothing registers on the process-global
+// DefaultServeMux (which panics on re-registration if a command constructs
+// two observers in one process, as tests do).
+func pprofMux(mt *obs.Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := mt.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
 // validate cross-checks flag combinations that individual flag parsing
 // cannot: mistakes here must fail before any simulation starts, not after a
 // multi-hour campaign.
@@ -224,6 +265,9 @@ func (c *common) validate() error {
 	}
 	if *c.maxRestarts < 0 {
 		return fmt.Errorf("-max-worker-restarts must be non-negative, got %d", *c.maxRestarts)
+	}
+	if *c.cacheDir != "" && *c.cacheMB <= 0 {
+		return fmt.Errorf("-run-cache-dir needs -run-cache-mb (spill without a cache has nothing to spill)")
 	}
 	return nil
 }
@@ -290,6 +334,12 @@ func (c *common) runner(cfg machine.Config) (*campaign.Runner, error) {
 		RunTimeout:        *c.runTimeout,
 		HeartbeatTimeout:  *c.heartbeat,
 		MaxWorkerRestarts: *c.maxRestarts,
+	}
+	if *c.cacheMB > 0 {
+		rn.Cache = runcache.New(runcache.Options{
+			MaxBytes: int64(*c.cacheMB) << 20,
+			SpillDir: *c.cacheDir,
+		})
 	}
 	spec, err := faultinject.ParseSpec(*c.faultSpec)
 	if err != nil {

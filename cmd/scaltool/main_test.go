@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -260,4 +262,65 @@ func TestCLIResumeRejectsSpentFault(t *testing.T) {
 	if err := cmdAnalyze([]string{"-resume", "-journal-dir", dir}); err != nil {
 		t.Fatalf("plain resume of a completed journal: %v", err)
 	}
+}
+
+// TestPprofAddrFailFast is the regression test for the async-bind bug: a
+// -pprof-addr that cannot be bound must fail the command synchronously from
+// observe(), before any simulation starts — not asynchronously from a
+// server goroutine after main has proceeded.
+func TestPprofAddrFailFast(t *testing.T) {
+	// Occupy a port so the observer's bind must fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c := commonFlags("test")
+	if err := c.fs.Parse([]string{"-pprof-addr", ln.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.observe(); err == nil {
+		t.Fatal("observe() bound an already-taken -pprof-addr without error")
+	} else if !strings.Contains(err.Error(), "pprof") {
+		t.Fatalf("error %v does not identify the pprof server", err)
+	}
+}
+
+// TestPprofServerDrain checks the debug server is shut down by flush (the
+// command's drain path) instead of leaking: after flush the address is
+// bindable again and requests are refused.
+func TestPprofServerDrain(t *testing.T) {
+	c := commonFlags("test")
+	// Reserve a free port, release it, and hand it to the observer. (A
+	// short race window, but the test binds it back immediately.)
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+	if err := c.fs.Parse([]string{"-pprof-addr", addr}); err != nil {
+		t.Fatal(err)
+	}
+	_, flush, err := c.observe()
+	if err != nil {
+		t.Fatalf("observe() failed to bind %s: %v", addr, err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("live debug server refused /metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", resp.StatusCode)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("address still held after flush (leaked server): %v", err)
+	}
+	ln.Close()
 }

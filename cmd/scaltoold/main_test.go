@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestScaltooldServeE2E drives the full daemon lifecycle in-process: bind,
+// serve concurrent /v1/analyze requests (identical, so the run cache must
+// collapse them), check the cache-hit metrics on /metrics, then SIGTERM and
+// verify a clean drain. verify.sh runs this as the serving e2e gate.
+func TestScaltooldServeE2E(t *testing.T) {
+	ready := make(chan string, 1)
+	testOnReady = func(addr string) { ready <- addr }
+	defer func() { testOnReady = nil }()
+
+	var stdout, stderrBuf bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "4",
+			"-cache-mb", "64",
+			"-shutdown-grace", "30s",
+			"-log-level", "warn",
+		}, &stdout, &stderrBuf)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never became ready; stderr:\n%s", stderrBuf.String())
+	}
+	base := "http://" + addr
+
+	// Live health.
+	hz, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", hz.StatusCode)
+	}
+
+	// Concurrent identical analyses: all must succeed with one body.
+	const n = 4
+	req := `{"app":"swim","procs":4}`
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(req))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				bodies[i], _ = io.ReadAll(resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range bodies {
+		if b == nil {
+			t.Fatalf("concurrent request %d failed", i)
+		}
+		if !bytes.Equal(bodies[0], b) {
+			t.Fatalf("request %d body differs", i)
+		}
+	}
+
+	// One more identical request: a pure cache hit.
+	resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(hitBody, bodies[0]) {
+		t.Fatalf("cache-hit request: status %d, identical=%t", resp.StatusCode, bytes.Equal(hitBody, bodies[0]))
+	}
+
+	// /metrics must show run-cache activity (hits or shared in-flight joins).
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	mtext := string(metrics)
+	if !strings.Contains(mtext, "scaltool_runcache_hits_total") && !strings.Contains(mtext, "scaltool_runcache_shared_total") {
+		t.Fatalf("/metrics records no run-cache hits:\n%s", mtext)
+	}
+	if !strings.Contains(mtext, "scaltool_serve_requests_total") {
+		t.Fatal("/metrics missing scaltool_serve_requests_total")
+	}
+
+	// SIGTERM: the daemon must drain and exit 0, and the port must be free.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM; stderr:\n%s", code, stderrBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "drained and stopped") {
+		t.Fatalf("no drain confirmation in stdout:\n%s", stdout.String())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("address still held after shutdown: %v", err)
+	}
+	ln.Close()
+}
+
+// TestScaltooldFailFast covers startup validation: a taken address and bad
+// flag combinations must fail synchronously with exit code 1.
+func TestScaltooldFailFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"taken address", []string{"-addr", ln.Addr().String()}},
+		{"bad grace", []string{"-addr", "127.0.0.1:0", "-shutdown-grace", "-1s"}},
+		{"spill without cache", []string{"-addr", "127.0.0.1:0", "-cache-mb", "0", "-cache-dir", t.TempDir()}},
+		{"bad log level", []string{"-addr", "127.0.0.1:0", "-log-level", "loud"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			done := make(chan int, 1)
+			go func() { done <- realMain(tc.args, &stdout, &stderr) }()
+			select {
+			case code := <-done:
+				if code != 1 {
+					t.Fatalf("exit code %d, want 1; stderr:\n%s", code, stderr.String())
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("startup validation did not fail fast")
+			}
+		})
+	}
+}

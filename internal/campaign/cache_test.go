@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/model"
+	"scaltool/internal/obs"
+	"scaltool/internal/runcache"
+)
+
+// TestExecuteWithRunCache is the campaign-level cache integration test: a
+// second Execute of the same plan through a shared runcache must run zero
+// simulations (scaltool_sim_runs_total stays put) and fit to the exact model
+// of the uncached campaign.
+func TestExecuteWithRunCache(t *testing.T) {
+	c := cfg()
+	app, err := apps.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(app, c, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &obs.Observer{Metrics: obs.NewMetrics()}
+	ctx := obs.NewContext(context.Background(), o)
+	simRuns := func() uint64 {
+		return o.Metrics.Counter("scaltool_sim_runs_total", "simulated runs completed").Value()
+	}
+
+	rn := &Runner{Cfg: c, Cache: runcache.New(runcache.Options{})}
+	res1, err := rn.Execute(ctx, app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := simRuns()
+	if first == 0 {
+		t.Fatal("first campaign simulated nothing")
+	}
+
+	res2, err := rn.Execute(ctx, app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := simRuns(); got != first {
+		t.Fatalf("cached campaign simulated %d new runs, want 0", got-first)
+	}
+
+	opts := model.DefaultOptions(c.L2.SizeBytes)
+	m1, err := res1.Fit(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := res2.Fit(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.CPI0 != m2.CPI0 || m1.T2 != m2.T2 || m1.Tm1 != m2.Tm1 || m1.Compulsory != m2.Compulsory {
+		t.Fatalf("cached fit differs: cpi0 %v vs %v, t2 %v vs %v", m1.CPI0, m2.CPI0, m1.T2, m2.T2)
+	}
+	if !reflect.DeepEqual(m1.Breakdown(), m2.Breakdown()) {
+		t.Fatal("cached campaign's breakdown differs from the uncached one")
+	}
+	if !reflect.DeepEqual(m1.Speedups(), m2.Speedups()) {
+		t.Fatal("cached campaign's speedup curve differs from the uncached one")
+	}
+}
+
+// TestExecuteCacheSharedAcrossRunners checks the cache is keyed by content,
+// not by campaign: a different Runner re-running the same plan reuses the
+// first Runner's entries.
+func TestExecuteCacheSharedAcrossRunners(t *testing.T) {
+	c := cfg()
+	app, err := apps.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(app, c, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &obs.Observer{Metrics: obs.NewMetrics()}
+	ctx := obs.NewContext(context.Background(), o)
+	shared := runcache.New(runcache.Options{})
+
+	if _, err := (&Runner{Cfg: c, Cache: shared}).Execute(ctx, app, plan); err != nil {
+		t.Fatal(err)
+	}
+	before := o.Metrics.Counter("scaltool_sim_runs_total", "simulated runs completed").Value()
+	if _, err := (&Runner{Cfg: c, Cache: shared, Workers: 2}).Execute(ctx, app, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics.Counter("scaltool_sim_runs_total", "simulated runs completed").Value(); got != before {
+		t.Fatalf("second runner simulated %d runs through a warm shared cache", got-before)
+	}
+}

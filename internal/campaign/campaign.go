@@ -29,6 +29,7 @@ import (
 	"scaltool/internal/model"
 	"scaltool/internal/obs"
 	"scaltool/internal/perftools"
+	"scaltool/internal/runcache"
 	"scaltool/internal/sim"
 )
 
@@ -243,6 +244,14 @@ type Runner struct {
 	// Inject, when non-nil, perturbs the campaign with deterministic
 	// faults — the chaos-test hook. Production campaigns leave it nil.
 	Inject *faultinject.Injector
+	// Cache, when non-nil, serves repeated runs from the content-addressed
+	// run cache (internal/runcache) instead of re-simulating: the simulator
+	// is deterministic, so a (machine, program) pair seen before — by this
+	// campaign, an earlier campaign, or a concurrent one sharing the cache —
+	// skips straight to its recorded Result. Injection outcomes (transient
+	// faults, hangs) still fire per attempt; only the simulation itself is
+	// elided.
+	Cache *runcache.Cache
 }
 
 // Job kinds, in plan order.
@@ -645,9 +654,14 @@ func (ex *executor) attempt(ctx context.Context, j job, prog *sim.Program, attem
 		<-actx.Done()
 		return nil, fmt.Errorf("campaign: %s attempt %d hung until its deadline: %w", j.id, attempt, actx.Err())
 	}
-	out, err := sim.RunContext(actx, rn.Cfg, prog)
+	out, hit, err := rn.Cache.GetOrRun(actx, rn.Cfg, prog, func(rctx context.Context) (*sim.Result, error) {
+		return sim.RunContext(rctx, rn.Cfg, prog)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %s attempt %d: %w", j.id, attempt, err)
+	}
+	if hit {
+		span.SetAttr("cache_hit", true)
 	}
 	return out, nil
 }

@@ -151,6 +151,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add moves the gauge by d (negative to decrease) — the up/down counter use
+// (in-flight requests, pool occupancy). Lock-free via CAS. Safe on nil.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {

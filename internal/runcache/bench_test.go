@@ -1,0 +1,73 @@
+package runcache
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"scaltool/internal/machine"
+	"scaltool/internal/sim"
+)
+
+// BenchmarkRuncacheHit measures the cache against the simulation it elides:
+// "miss" is the cost of one real simulated run (what every request paid
+// before this cache existed), "hit" is the same request answered from the
+// warm memory tier (key + lookup + clone). The measured pair is recorded in
+// BENCH_serve.json; the serving acceptance bar is a ≥ 10× hit speedup.
+func BenchmarkRuncacheHit(b *testing.B) {
+	cfg := machine.ScaledOrigin()
+	prog := benchProg(b, cfg)
+	run := func(ctx context.Context) (*sim.Result, error) {
+		return sim.RunContext(ctx, cfg, prog)
+	}
+
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		c := New(Options{})
+		if _, _, err := c.GetOrRun(context.Background(), cfg, prog, run); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, hit, err := c.GetOrRun(context.Background(), cfg, prog, run)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !hit || res == nil {
+				b.Fatal("warm cache missed")
+			}
+		}
+	})
+}
+
+// benchProg builds a mid-sized synthetic program (8 procs, 4 regions,
+// strided sharing) whose simulation cost is in the range of one campaign
+// run, so the hit/miss ratio is representative.
+func benchProg(b *testing.B, cfg machine.Config) *sim.Program {
+	b.Helper()
+	const procs = 8
+	prog, err := sim.NewProgram("bench", procs, 1<<22, cfg.PageBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := prog.MustAlloc("a", 1<<22)
+	slice := uint64(1<<22) / procs
+	for r := 0; r < 4; r++ {
+		reg := prog.AddRegion(fmt.Sprintf("r%d", r))
+		for p := 0; p < procs; p++ {
+			st := reg.Proc(p)
+			st.Compute(20_000)
+			st.Read(arr.Base+uint64(p)*slice, slice/64, 64, 1)
+			st.Write(arr.Base+uint64(p)*slice, slice/256, 256, 1)
+		}
+	}
+	return prog
+}

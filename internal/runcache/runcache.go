@@ -1,0 +1,279 @@
+package runcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sync"
+
+	"scaltool/internal/machine"
+	"scaltool/internal/obs"
+	"scaltool/internal/sim"
+)
+
+// RunFunc produces the result for a cache miss — normally sim.RunContext or
+// the campaign's fault-tolerant attempt wrapper.
+type RunFunc func(ctx context.Context) (*sim.Result, error)
+
+// Options configures a Cache.
+type Options struct {
+	// MaxBytes is the in-memory byte budget (Result.SizeEstimate units).
+	// <= 0 selects DefaultMaxBytes. A single entry larger than the budget
+	// is returned to the caller but not retained.
+	MaxBytes int64
+	// SpillDir, when non-empty, enables disk spill: entries evicted from
+	// memory are written there (one file per key) and reloaded on the next
+	// miss instead of re-simulating. The directory is created on first use;
+	// campaigns typically point it under the journal directory.
+	SpillDir string
+}
+
+// DefaultMaxBytes is the in-memory budget when Options.MaxBytes is unset.
+const DefaultMaxBytes = 256 << 20
+
+// Cache is a content-addressed result cache: LRU over Key with a byte
+// budget, singleflight deduplication of concurrent identical requests, and
+// optional disk spill. Safe for concurrent use.
+type Cache struct {
+	maxBytes int64
+	spillDir string
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recent
+	items    map[Key]*list.Element
+	bytes    int64
+	inflight map[Key]*flight
+}
+
+// entry is one cached result with its accounting size.
+type entry struct {
+	key  Key
+	res  *sim.Result
+	size int64
+}
+
+// flight is one in-progress simulation that identical requests share.
+type flight struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// New builds a cache.
+func New(opts Options) *Cache {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: opts.MaxBytes,
+		spillDir: opts.SpillDir,
+		ll:       list.New(),
+		items:    map[Key]*list.Element{},
+		inflight: map[Key]*flight{},
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache's occupancy.
+type Stats struct {
+	Entries int
+	Bytes   int64
+}
+
+// Stats returns the current occupancy.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Entries: c.ll.Len(), Bytes: c.bytes}
+}
+
+// GetOrRun returns the result for (cfg, prog), executing run at most once
+// per content key no matter how many callers ask concurrently. The returned
+// Result is a mutation-safe clone (Result.Clone): callers may rewrite its
+// counter report freely without corrupting the cached copy. hit reports
+// whether a simulation was avoided — by the memory tier, the disk tier, or
+// by joining another caller's in-flight run.
+//
+// Errors are never cached: a failed or canceled run is re-attempted by the
+// next request for the same key. A nil *Cache runs every request directly.
+func (c *Cache) GetOrRun(ctx context.Context, cfg machine.Config, prog *sim.Program, run RunFunc) (res *sim.Result, hit bool, err error) {
+	if c == nil {
+		out, err := run(ctx)
+		return out, false, err
+	}
+	key := KeyFor(cfg, prog)
+	mt := obs.Meter(ctx)
+
+	c.mu.Lock()
+	// Memory tier.
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		out := el.Value.(*entry).res
+		c.mu.Unlock()
+		if mt != nil {
+			mt.Counter("scaltool_runcache_hits_total", "run-cache hits by tier", "tier", "mem").Inc()
+		}
+		return out.Clone(), true, nil
+	}
+	// Join an in-flight identical request.
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if fl.err != nil {
+			// The leader failed; its error is not cached. Report it rather
+			// than retrying here: a deterministic failure would spin, and a
+			// canceled leader's waiters are usually canceled with it. The
+			// NEXT request for the key gets a fresh attempt.
+			return nil, false, fl.err
+		}
+		if mt != nil {
+			mt.Counter("scaltool_runcache_shared_total", "requests served by joining another request's in-flight simulation").Inc()
+		}
+		return fl.res.Clone(), true, nil
+	}
+	// Become the leader for this key.
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	return c.lead(ctx, key, fl, run, mt)
+}
+
+// lead executes the miss path as the key's singleflight leader: disk tier,
+// then a real simulation, then publication to waiters and the LRU.
+func (c *Cache) lead(ctx context.Context, key Key, fl *flight, run RunFunc, mt *obs.Metrics) (*sim.Result, bool, error) {
+	out, diskHit := c.loadSpill(key)
+	var err error
+	if out == nil {
+		out, err = run(ctx)
+	}
+
+	fl.res, fl.err = out, err
+	c.mu.Lock()
+	delete(c.inflight, key)
+	var evicted []*entry
+	if err == nil && out != nil {
+		evicted = c.insert(key, out)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+
+	// Spill evictions outside the lock: disk I/O must not stall readers.
+	for _, ev := range evicted {
+		spilled := c.writeSpill(ev.key, ev.res)
+		if mt != nil {
+			mt.Counter("scaltool_runcache_evictions_total", "run-cache LRU evictions",
+				"spilled", fmt.Sprintf("%t", spilled)).Inc()
+		}
+	}
+
+	if err != nil {
+		return nil, false, err
+	}
+	if mt != nil {
+		if diskHit {
+			mt.Counter("scaltool_runcache_hits_total", "run-cache hits by tier", "tier", "disk").Inc()
+		} else {
+			mt.Counter("scaltool_runcache_misses_total", "run-cache misses (a real simulation ran)").Inc()
+		}
+		st := c.Stats()
+		mt.Gauge("scaltool_runcache_bytes", "run-cache resident bytes (estimate)").Set(float64(st.Bytes))
+		mt.Gauge("scaltool_runcache_entries", "run-cache resident entries").Set(float64(st.Entries))
+	}
+	return out.Clone(), diskHit, nil
+}
+
+// insert adds a result under c.mu, evicting past the byte budget; the
+// caller spills the returned evictions after releasing the lock.
+func (c *Cache) insert(key Key, res *sim.Result) (evicted []*entry) {
+	if _, dup := c.items[key]; dup {
+		return nil
+	}
+	size := res.SizeEstimate()
+	if size > c.maxBytes {
+		return nil // would evict everything and still not fit
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, res: res, size: size})
+	c.bytes += size
+	for c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		ev := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.items, ev.key)
+		c.bytes -= ev.size
+		evicted = append(evicted, ev)
+	}
+	return evicted
+}
+
+// spillPath returns the on-disk location of a key, or "" without spill.
+func (c *Cache) spillPath(key Key) string {
+	if c.spillDir == "" {
+		return ""
+	}
+	return filepath.Join(c.spillDir, key.String()+".json")
+}
+
+// writeSpill persists an evicted entry; failures only lose the spill copy.
+// The write goes through a temp file + rename so a torn write never leaves a
+// half-entry that a later load would misread.
+func (c *Cache) writeSpill(key Key, res *sim.Result) bool {
+	path := c.spillPath(key)
+	if path == "" {
+		return false
+	}
+	if err := os.MkdirAll(c.spillDir, 0o755); err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(c.spillDir, "spill-*.tmp")
+	if err != nil {
+		return false
+	}
+	if err := sim.EncodeResult(tmp, res); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return false
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}
+
+// loadSpill reads a spilled entry back, or nil. A corrupt spill file is
+// deleted and treated as a miss — the run is deterministic, so it is simply
+// regenerated.
+func (c *Cache) loadSpill(key Key) (*sim.Result, bool) {
+	path := c.spillPath(key)
+	if path == "" {
+		return nil, false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	res, err := sim.DecodeResult(f)
+	if err != nil {
+		_ = os.Remove(path)
+		return nil, false
+	}
+	return res, true
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/campaign"
+	"scaltool/internal/machine"
+	"scaltool/internal/model"
+)
+
+// Request is the /v1/analyze request document.
+type Request struct {
+	// App names the application (see 'scaltool apps').
+	App string `json:"app"`
+	// Procs is the largest processor count to analyze — a power of two;
+	// 0 selects 32, the paper's machine size.
+	Procs int `json:"procs,omitempty"`
+	// S0 is the base data-set size in bytes (0 = the app's default).
+	S0 uint64 `json:"s0,omitempty"`
+	// Machine selects the configuration: "scaled" (default) or "origin".
+	Machine string `json:"machine,omitempty"`
+	// RawTm selects the paper-faithful single-pass tm(n) estimator.
+	RawTm bool `json:"raw_tm,omitempty"`
+}
+
+// validate rejects a request before it takes an admission slot.
+func (s *Server) validate(req *Request) error {
+	if req.App == "" {
+		return fmt.Errorf("missing \"app\"")
+	}
+	if _, err := apps.ByName(req.App); err != nil {
+		return fmt.Errorf("unknown app %q (known: %v)", req.App, apps.Names())
+	}
+	if req.Procs == 0 {
+		req.Procs = 32
+	}
+	if req.Procs < 1 || req.Procs&(req.Procs-1) != 0 {
+		return fmt.Errorf("\"procs\" must be a power of two ≥ 1, got %d", req.Procs)
+	}
+	if req.Procs > s.opts.MaxProcs {
+		return fmt.Errorf("\"procs\" %d exceeds this server's limit of %d", req.Procs, s.opts.MaxProcs)
+	}
+	switch req.Machine {
+	case "":
+		req.Machine = "scaled"
+	case "scaled", "origin":
+	default:
+		return fmt.Errorf("unknown machine %q (want scaled or origin)", req.Machine)
+	}
+	return nil
+}
+
+// configFor maps the request's machine name to its configuration.
+func configFor(name string) machine.Config {
+	if name == "origin" {
+		return machine.Origin2000()
+	}
+	return machine.ScaledOrigin()
+}
+
+// Response is the /v1/analyze response document. Identical requests get
+// byte-identical bodies — everything here derives deterministically from the
+// request, never from serving state (no timestamps, cache verdicts, or
+// request IDs; those belong in headers and /metrics).
+type Response struct {
+	App     string `json:"app"`
+	Machine string `json:"machine"`
+	Procs   int    `json:"procs"`
+	S0      uint64 `json:"s0"`
+
+	Model ModelParams `json:"model"`
+	// Degraded summarizes what the fit had to do without; empty for a
+	// complete input set.
+	Degraded string `json:"degraded,omitempty"`
+
+	Speedups  []SpeedupPoint `json:"speedups"`
+	Breakdown []BreakdownRow `json:"breakdown"`
+}
+
+// ModelParams are the fitted scalars of the paper's model (§2.2–2.4).
+type ModelParams struct {
+	CPI0       float64 `json:"cpi0"`
+	T2         float64 `json:"t2"`
+	Tm1        float64 `json:"tm1"`
+	Compulsory float64 `json:"compulsory"`
+	CpiImb     float64 `json:"cpi_imb"`
+	FitRMSE    float64 `json:"fit_rmse"`
+	FitR2      float64 `json:"fit_r2"`
+	FitSizes   int     `json:"fit_sizes"`
+}
+
+// SpeedupPoint is one point of the measured speedup curve (Figures 5/8/11).
+type SpeedupPoint struct {
+	Procs   int     `json:"procs"`
+	Wall    float64 `json:"wall_cycles"`
+	Speedup float64 `json:"speedup"`
+}
+
+// BreakdownRow is one processor count of the cycle-breakdown chart (Figures
+// 6/9/12): cycles accumulated over all processors, split by bottleneck.
+type BreakdownRow struct {
+	Procs        int     `json:"procs"`
+	Base         float64 `json:"base"`
+	L2Lim        float64 `json:"l2lim"`
+	Sync         float64 `json:"sync"`
+	Imb          float64 `json:"imb"`
+	MP           float64 `json:"mp"`
+	Interpolated bool    `json:"interpolated,omitempty"`
+}
+
+// analyze runs the full pipeline for one request: plan → campaign (through
+// the shared run cache) → fit → response.
+func (s *Server) analyze(ctx context.Context, req *Request) (*Response, error) {
+	cfg := configFor(req.Machine)
+	app, err := apps.ByName(req.App)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := campaign.NewPlan(app, cfg, req.Procs, req.S0)
+	if err != nil {
+		return nil, err
+	}
+	rn := &campaign.Runner{
+		Cfg:     cfg,
+		Workers: s.opts.SimWorkers,
+		Cache:   s.opts.Cache,
+	}
+	res, err := rn.Execute(ctx, app, plan)
+	if err != nil {
+		return nil, err
+	}
+	opts := model.DefaultOptions(cfg.L2.SizeBytes)
+	opts.RawTmN = req.RawTm
+	m, err := res.FitContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		App:     req.App,
+		Machine: req.Machine,
+		Procs:   req.Procs,
+		S0:      plan.S0,
+		Model: ModelParams{
+			CPI0:       m.CPI0,
+			T2:         m.T2,
+			Tm1:        m.Tm1,
+			Compulsory: m.Compulsory,
+			CpiImb:     m.CpiImb,
+			FitRMSE:    m.FitRMSE,
+			FitR2:      m.FitR2,
+			FitSizes:   m.FitSizes,
+		},
+	}
+	if m.Degradation.Degraded {
+		resp.Degraded = m.Degradation.Summary()
+	}
+	for _, sp := range m.Speedups() {
+		resp.Speedups = append(resp.Speedups, SpeedupPoint{Procs: sp.Procs, Wall: sp.Wall, Speedup: sp.Speedup})
+	}
+	for _, bp := range m.Breakdown() {
+		resp.Breakdown = append(resp.Breakdown, BreakdownRow{
+			Procs:        bp.Procs,
+			Base:         bp.Base,
+			L2Lim:        bp.L2Lim(),
+			Sync:         bp.Sync,
+			Imb:          bp.Imb,
+			MP:           bp.MP(),
+			Interpolated: bp.Interpolated,
+		})
+	}
+	return resp, nil
+}
+
+// encodeResponse serializes a Response. Go's encoding/json is deterministic
+// over struct fields (fixed order, shortest-round-trip floats), which is what
+// makes "cached and fresh responses are byte-identical" testable.
+func encodeResponse(resp *Response) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

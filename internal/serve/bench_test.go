@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"scaltool/internal/obs"
+	"scaltool/internal/runcache"
+)
+
+// BenchmarkServeAnalyze measures the /v1/analyze endpoint end to end over
+// HTTP — the serving-path baseline recorded in BENCH_serve.json:
+//
+//	uncached — every request simulates its full campaign (no cache wired)
+//	hit      — a warm run cache answers without any simulation
+//
+// The acceptance bar is a ≥ 10× hit speedup over uncached.
+func BenchmarkServeAnalyze(b *testing.B) {
+	req := []byte(`{"app":"swim","procs":8}`)
+	post := func(b *testing.B, url string) {
+		b.Helper()
+		resp, err := http.Post(url+"/v1/analyze", "application/json", bytes.NewReader(req))
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		s := New(Options{Workers: 1, Obs: &obs.Observer{Metrics: obs.NewMetrics()}})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		s := New(Options{
+			Workers: 1,
+			Cache:   runcache.New(runcache.Options{}),
+			Obs:     &obs.Observer{Metrics: obs.NewMetrics()},
+		})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		post(b, ts.URL) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL)
+		}
+	})
+}

@@ -1,0 +1,297 @@
+// Package serve is the scaltoold analysis service: Scal-Tool's model as an
+// HTTP endpoint, built on the content-addressed run cache.
+//
+// The simulator is deterministic, so every (machine, program) pair is a pure
+// function — which makes analyses cacheable and the service horizontally
+// boring: POST /v1/analyze runs the Table 3 campaign for the requested
+// application through internal/runcache (repeated or concurrent identical
+// requests share one set of simulations), fits the model, and returns the
+// speedup curve and cycle breakdown as JSON. Identical requests produce
+// byte-identical response bodies whether they were simulated or served from
+// cache.
+//
+// Overload policy, in order:
+//
+//  1. Admission: at most Workers analyses execute concurrently; at most
+//     QueueDepth more may wait for a worker. A request beyond that is shed
+//     immediately with 429 and a Retry-After hint — queueing it would only
+//     convert overload into latency.
+//  2. Deadline: every admitted request runs under RequestTimeout; a request
+//     that cannot finish in time returns 503 (waiting) or 504 (running).
+//  3. Drain: Drain flips /v1/healthz to 503 and sheds new analyses with 503
+//     while in-flight ones finish — the SIGTERM half of scaltoold's
+//     graceful shutdown (the other half is http.Server.Shutdown).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaltool/internal/obs"
+	"scaltool/internal/runcache"
+)
+
+// DefaultRequestTimeout bounds one analysis when Options.RequestTimeout is
+// unset.
+const DefaultRequestTimeout = 60 * time.Second
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrently executing analyses (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds analyses admitted beyond the executing ones, waiting
+	// for a worker (0 = 2×Workers). A request past Workers+QueueDepth is
+	// shed with 429.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline (0 = DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// MaxProcs caps the processor count a request may analyze (0 = 64): the
+	// plan's cost grows as 2^n, so an unbounded request is a DoS.
+	MaxProcs int
+	// SimWorkers bounds the concurrent simulated runs inside one analysis
+	// (0 = GOMAXPROCS). With several analysis workers a smaller value keeps
+	// one big campaign from starving the rest.
+	SimWorkers int
+	// Cache is the shared run cache; nil disables caching (every request
+	// simulates from scratch).
+	Cache *runcache.Cache
+	// Obs instruments the service: scaltool_serve_* metrics, request logs,
+	// and the /metrics endpoint. May be nil.
+	Obs *obs.Observer
+}
+
+// Server serves the analysis API. Create with New.
+type Server struct {
+	opts Options
+
+	workers  chan struct{} // executing-analysis slots
+	admitted chan struct{} // admission slots: Workers + QueueDepth
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	mux *http.ServeMux
+
+	// testHookRun, when set, runs while the worker slot is held, before the
+	// analysis — tests block here to hold the pool at a known occupancy.
+	testHookRun func()
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 2 * opts.Workers
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	if opts.MaxProcs <= 0 {
+		opts.MaxProcs = 64
+	}
+	s := &Server{
+		opts:     opts,
+		workers:  make(chan struct{}, opts.Workers),
+		admitted: make(chan struct{}, opts.Workers+opts.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into shutdown: /v1/healthz reports 503 (so a load
+// balancer stops routing here), new analyses are refused with 503, and Drain
+// blocks until every in-flight analysis finishes or ctx expires. It is safe
+// to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	if mt := s.meter(); mt != nil {
+		mt.Gauge("scaltool_serve_draining", "1 while the server is draining for shutdown").Set(1)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+func (s *Server) meter() *obs.Metrics {
+	if s.opts.Obs == nil {
+		return nil
+	}
+	return s.opts.Obs.Metrics
+}
+
+// obsContext installs the server's observer in a request context.
+func (s *Server) obsContext(ctx context.Context) context.Context {
+	if s.opts.Obs == nil {
+		return ctx
+	}
+	return obs.NewContext(ctx, s.opts.Obs)
+}
+
+// countRequest records one finished request in the metrics.
+func (s *Server) countRequest(route string, code int, start time.Time) {
+	mt := s.meter()
+	if mt == nil {
+		return
+	}
+	mt.Counter("scaltool_serve_requests_total", "API requests by route and status code",
+		"route", route, "code", strconv.Itoa(code)).Inc()
+	if route == "/v1/analyze" {
+		mt.Histogram("scaltool_serve_request_seconds", "end-to-end /v1/analyze latency",
+			obs.LatencyBuckets).Observe(time.Since(start).Seconds())
+	}
+}
+
+// writeError emits the service's uniform JSON error shape.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		s.countRequest("/v1/healthz", http.StatusServiceUnavailable, start)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+	s.countRequest("/v1/healthz", http.StatusOK, start)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mt := s.meter()
+	if mt == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := mt.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// maxBodyBytes bounds a request document; a plan request is a few hundred
+// bytes, so anything near a megabyte is garbage.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code, err := s.serveAnalyze(w, r, start)
+	if err != nil {
+		writeError(w, code, "%s", err)
+	}
+	s.countRequest("/v1/analyze", code, start)
+}
+
+// serveAnalyze handles one analysis request; it reports the response code
+// and, for non-2xx, the error to send (nil when the response was written).
+func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time.Time) (int, error) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		return http.StatusMethodNotAllowed, fmt.Errorf("use POST")
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		return http.StatusServiceUnavailable, fmt.Errorf("server is draining")
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("decoding request: %v", err)
+	}
+	if err := s.validate(&req); err != nil {
+		return http.StatusBadRequest, err
+	}
+
+	// Admission: a slot in the bounded queue, or immediate shedding. The
+	// queue is not worth waiting for — a client retry later IS the queue.
+	select {
+	case s.admitted <- struct{}{}:
+	default:
+		if mt := s.meter(); mt != nil {
+			mt.Counter("scaltool_serve_shed_total", "analyses shed because the admission queue was full").Inc()
+		}
+		w.Header().Set("Retry-After", retryAfter(s.opts.RequestTimeout))
+		return http.StatusTooManyRequests, fmt.Errorf("overloaded: %d analyses executing or queued", cap(s.admitted))
+	}
+	defer func() { <-s.admitted }()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	ctx = s.obsContext(ctx)
+
+	// A worker slot: the analysis itself is CPU-bound, so only Workers of
+	// them may execute at once. Waiting burns the request's own deadline.
+	select {
+	case s.workers <- struct{}{}:
+	case <-ctx.Done():
+		return http.StatusServiceUnavailable, fmt.Errorf("timed out waiting for a worker: %v", ctx.Err())
+	}
+	defer func() { <-s.workers }()
+
+	if mt := s.meter(); mt != nil {
+		g := mt.Gauge("scaltool_serve_inflight", "analyses currently executing")
+		g.Add(1)
+		defer g.Add(-1)
+	}
+	if s.testHookRun != nil {
+		s.testHookRun()
+	}
+
+	resp, err := s.analyze(ctx, &req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return http.StatusGatewayTimeout, fmt.Errorf("analysis exceeded its %s deadline", s.opts.RequestTimeout)
+		}
+		obs.Log(ctx).Error("analysis failed", "app", req.App, "err", err)
+		return http.StatusInternalServerError, fmt.Errorf("analysis failed: %v", err)
+	}
+	body, err := encodeResponse(resp)
+	if err != nil {
+		return http.StatusInternalServerError, fmt.Errorf("encoding response: %v", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	obs.Log(ctx).Info("analysis served", "app", req.App, "procs", req.Procs, "elapsed", time.Since(start))
+	return http.StatusOK, nil
+}
+
+// retryAfter suggests a client back-off: half the request deadline, at least
+// one second — by then at least some of the queue has drained.
+func retryAfter(timeout time.Duration) string {
+	secs := int(timeout.Seconds() / 2)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

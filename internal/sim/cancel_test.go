@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"scaltool/internal/machine"
+)
+
+// cancelProg builds a small multi-region program whose every region does
+// real work on every processor, so a bailed stream is visible in the
+// counters.
+func cancelProg(t *testing.T, cfg machine.Config, procs, regions int) *Program {
+	t.Helper()
+	prog, err := NewProgram("cancel", procs, 1<<14, cfg.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := prog.MustAlloc("a", 1<<14)
+	for r := 0; r < regions; r++ {
+		reg := prog.AddRegion("work")
+		for p := 0; p < procs; p++ {
+			st := reg.Proc(p)
+			st.Compute(500)
+			st.Read(arr.Base+uint64(p)*2048, 64, 32, 1)
+		}
+	}
+	return prog
+}
+
+// TestRunContextCancelInsideFinalRegion is the regression test for the
+// cancellation-corruption bug: a context canceled after the last
+// region-boundary check — i.e. inside the final region's parallel phase —
+// used to let the worker goroutines bail with zero-value procOuts while
+// RunContext still assembled and returned a normal-looking Result from the
+// incomplete streams. It must return (nil, ctx.Err()-wrapping error).
+func TestRunContextCancelInsideFinalRegion(t *testing.T) {
+	cfg := machine.TinyTest()
+	const regions = 3
+	prog := cancelProg(t, cfg, 4, regions)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The heartbeat fires at the top of every region, before its streams
+	// run and after RunContext's boundary ctx.Err() check — so canceling on
+	// the final beat lands the cancellation inside the final region.
+	beats := 0
+	ctx = WithHeartbeat(ctx, func() {
+		beats++
+		if beats == regions {
+			cancel()
+		}
+	})
+	res, err := RunContext(ctx, cfg, prog)
+	if err == nil {
+		t.Fatalf("canceled run returned a Result (wall=%v) instead of an error", res.WallCycles)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if res != nil {
+		t.Fatalf("canceled run returned non-nil *Result alongside the error")
+	}
+}
+
+// TestRunContextCancelChaos cancels a run at every region boundary in turn
+// — and, via the heartbeat, inside every region — and asserts the contract:
+// either the run completes with a Result identical to the uncanceled run,
+// or it returns (nil, error wrapping context.Canceled). Nothing in between.
+func TestRunContextCancelChaos(t *testing.T) {
+	cfg := machine.TinyTest()
+	const regions = 5
+	build := func() *Program { return cancelProg(t, cfg, 4, regions) }
+
+	want, err := Run(cfg, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for at := 1; at <= regions; at++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		beats := 0
+		hctx := WithHeartbeat(ctx, func() {
+			beats++
+			if beats == at {
+				cancel()
+			}
+		})
+		res, err := RunContext(hctx, cfg, build())
+		cancel()
+		switch {
+		case err != nil:
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("cancel at region %d: err = %v, want context.Canceled", at, err)
+			}
+			if res != nil {
+				t.Errorf("cancel at region %d: non-nil Result alongside error", at)
+			}
+		default:
+			// The run won the race: its Result must be the full, correct one.
+			if res.WallCycles != want.WallCycles {
+				t.Errorf("cancel at region %d: completed run wall=%v, want %v (partial result leaked)",
+					at, res.WallCycles, want.WallCycles)
+			}
+			if got, exp := res.Report.Total(), want.Report.Total(); got != exp {
+				t.Errorf("cancel at region %d: completed run counters differ from uncanceled run", at)
+			}
+		}
+	}
+}
+
+// TestRunContextPreCanceled checks the boundary path still rejects runs
+// whose context is dead before the first region.
+func TestRunContextPreCanceled(t *testing.T) {
+	cfg := machine.TinyTest()
+	prog := cancelProg(t, cfg, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := RunContext(ctx, cfg, prog); err == nil || res != nil {
+		t.Fatalf("pre-canceled run: res=%v err=%v, want nil+error", res, err)
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"scaltool/internal/counters"
+)
+
+// Clone returns a copy of the Result that is safe to hand to a caller that
+// mutates the counter Report (the campaign's sanitize/perturb pipeline
+// replaces it wholesale and may rewrite per-processor sets). The Report and
+// its PerProc sets are deep-copied; the ground truth and segment counters —
+// read-only once a run completes — are shared with the receiver.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Report.PerProc = append([]counters.Set(nil), r.Report.PerProc...)
+	return &out
+}
+
+// resultDTO is the serialized form of a Result, including the unexported
+// per-region segment counters, so a decoded Result supports SegmentReport
+// exactly like the original.
+type resultDTO struct {
+	Version     int                `json:"version"`
+	MachineName string             `json:"machine_name"`
+	Procs       int                `json:"procs"`
+	DataBytes   uint64             `json:"data_bytes"`
+	WallCycles  float64            `json:"wall_cycles"`
+	Report      counters.RunReport `json:"report"`
+	Ground      GroundTruth        `json:"ground"`
+	Segments    []segRegionDTO     `json:"segments,omitempty"`
+}
+
+type segRegionDTO struct {
+	Name    string         `json:"name"`
+	PerProc []counters.Set `json:"per_proc"`
+}
+
+// encodeVersion guards the spill format: a decoder refuses frames written by
+// an incompatible future encoder instead of misreading them.
+const encodeVersion = 1
+
+// EncodeResult serializes a Result — counter report, ground truth, and the
+// per-region segment counters — as one JSON document. The encoding is
+// deterministic for a given Result, which the content-addressed run cache
+// relies on when spilling entries to disk.
+func EncodeResult(w io.Writer, r *Result) error {
+	if r == nil {
+		return fmt.Errorf("sim: encode nil Result")
+	}
+	dto := resultDTO{
+		Version:     encodeVersion,
+		MachineName: r.MachineName,
+		Procs:       r.Procs,
+		DataBytes:   r.DataBytes,
+		WallCycles:  r.WallCycles,
+		Report:      r.Report,
+		Ground:      r.Ground,
+	}
+	dto.Report.PerProc = append([]counters.Set(nil), r.Report.PerProc...)
+	for _, seg := range r.segments {
+		dto.Segments = append(dto.Segments, segRegionDTO{Name: seg.name, PerProc: seg.perProc})
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// DecodeResult reads a Result written by EncodeResult.
+func DecodeResult(rd io.Reader) (*Result, error) {
+	var dto resultDTO
+	if err := json.NewDecoder(rd).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("sim: decoding Result: %w", err)
+	}
+	if dto.Version != encodeVersion {
+		return nil, fmt.Errorf("sim: Result encoding version %d (want %d)", dto.Version, encodeVersion)
+	}
+	out := &Result{
+		MachineName: dto.MachineName,
+		Procs:       dto.Procs,
+		DataBytes:   dto.DataBytes,
+		WallCycles:  dto.WallCycles,
+		Report:      dto.Report,
+		Ground:      dto.Ground,
+	}
+	for _, seg := range dto.Segments {
+		out.segments = append(out.segments, segRegion{name: seg.Name, perProc: seg.PerProc})
+	}
+	return out, nil
+}
+
+// SizeEstimate returns an approximate in-memory footprint of the Result in
+// bytes — the run cache's unit of accounting for its byte budget. It counts
+// the dominant slices (per-processor counter sets, region attribution,
+// segment counters, ground-truth lanes) plus a fixed struct overhead; it is
+// deliberately cheap and slightly conservative rather than exact.
+func (r *Result) SizeEstimate() int64 {
+	if r == nil {
+		return 0
+	}
+	const setBytes = int64(len(counters.Set{})) * 8
+	sz := int64(512) // struct headers, strings, map slots
+	sz += int64(len(r.Report.PerProc)) * setBytes
+	sz += int64(len(r.Ground.PerProcBusy)+len(r.Ground.PerProcSync)+len(r.Ground.PerProcImb)) * 8
+	for _, reg := range r.Ground.Regions {
+		sz += int64(len(reg.Name)) + 64 + int64(len(reg.PerProc))*24
+	}
+	for _, seg := range r.segments {
+		sz += int64(len(seg.name)) + 32 + int64(len(seg.perProc))*setBytes
+	}
+	return sz
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"scaltool/internal/assert"
 	"scaltool/internal/cache"
@@ -56,9 +57,12 @@ func Run(cfg machine.Config, prog *Program) (*Result, error) {
 
 // RunContext is Run with cooperative cancellation. The engine checks the
 // context at every barrier region boundary — the natural quiescent points —
-// and returns the context's error, without a result, once it is canceled or
-// its deadline passes. A run that completes its last region wins the race
-// and returns normally.
+// and additionally as each processor's stream starts inside a region. It
+// returns the context's error, without a result, once it is canceled or its
+// deadline passes; a canceled run NEVER returns a Result assembled from
+// incompletely simulated streams, no matter where — including inside the
+// final region — the cancellation lands. A run whose every stream completed
+// wins the race and returns normally.
 //
 // An observer in ctx (internal/obs) gets a "sim.run" span plus the run's
 // simulated-cycle and region counters; the per-access hot loop is never
@@ -114,7 +118,14 @@ func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result
 		if beat != nil {
 			beat()
 		}
-		e.runRegion(ctx, &prog.Regions()[i])
+		if err := e.runRegion(ctx, &prog.Regions()[i]); err != nil {
+			// The region's parallel phase was cut short: some processor
+			// streams never ran, so the engine's counters are incomplete.
+			// Returning a Result built from them would silently under-count
+			// every downstream estimate — return the cancellation instead.
+			return nil, fmt.Errorf("sim: run of %s canceled inside region %d of %d (%s): %w",
+				prog.Name, i+1, len(prog.Regions()), prog.Regions()[i].Name, err)
+		}
 	}
 	res := e.result()
 	if mt := obs.Meter(ctx); mt != nil {
@@ -136,8 +147,11 @@ func log2(v int) uint {
 	return s
 }
 
-// runRegion executes one barrier-delimited region.
-func (e *engine) runRegion(ctx context.Context, r *Region) {
+// runRegion executes one barrier-delimited region. It returns the context's
+// error when cancellation cut the region's parallel phase short — in that
+// case some streams never ran and the engine's state must not be turned into
+// a Result.
+func (e *engine) runRegion(ctx context.Context, r *Region) error {
 	// Phase 0 — page-home assignment, sequentially in processor order so
 	// first-touch placement is deterministic (ties between processors that
 	// both first-touch a page in this region go to the lower processor ID).
@@ -146,20 +160,36 @@ func (e *engine) runRegion(ctx context.Context, r *Region) {
 	}
 
 	// Phase 1 — per-processor stream simulation against the immutable
-	// directory snapshot, in parallel.
+	// directory snapshot, in parallel. A worker that observes cancellation
+	// bails with a zero-value procOut and flags the region incomplete; the
+	// flag — not a later ctx.Err() check, which a cancel-after-completion
+	// would trip spuriously — decides whether the region's outputs are
+	// trustworthy.
 	outs := make([]procOut, e.prog.Procs)
+	var incomplete atomic.Bool
 	var wg sync.WaitGroup
 	for p := 0; p < e.prog.Procs; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			if ctx.Err() != nil {
-				return // canceled mid-region: RunContext discards the region anyway
+				incomplete.Store(true) // canceled mid-region: outs[p] stays zero
+				return
 			}
 			outs[p] = e.simulateStream(p, &r.Streams[p])
 		}(p)
 	}
 	wg.Wait()
+	if incomplete.Load() {
+		err := ctx.Err()
+		if err == nil {
+			// Unreachable in practice (a worker only sets the flag after
+			// seeing a non-nil ctx.Err()), but never report a corrupt region
+			// as a clean cancellation.
+			err = context.Canceled
+		}
+		return err
+	}
 
 	// Phase 2 — lock serialization: critical sections execute one at a
 	// time; processor p waits out the critical sections of lower-numbered
@@ -300,6 +330,7 @@ func (e *engine) runRegion(ctx context.Context, r *Region) {
 	for _, dg := range res.Downgrades {
 		e.hiers[dg.Proc].DowngradeRemote(dg.Line)
 	}
+	return nil
 }
 
 // spinOps converts a spin-wait duration into executed instructions/loads.

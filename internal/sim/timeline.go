@@ -32,23 +32,55 @@ func AppendTimeline(tr *obs.Tracer, res *Result, label string) {
 			continue // aggregated attribution carries no per-proc split
 		}
 		args := map[string]any{"region": reg.Name}
+
+		// The engine guarantees Busy+Sync+Imb == the region's elapsed cycles
+		// for every processor, but attribution that traveled through files,
+		// perturbation, or repair may not honor that. Enforce the tiling
+		// invariant here instead of assuming it: a lane's emitted length is
+		// the sum of its non-negative phases (a negative phase is dropped,
+		// never allowed to rewind the lane and overlap an earlier slice),
+		// the region's elapsed is the longest lane, and every shorter lane
+		// is padded with an explicit "untracked" slice. No lane can then
+		// spill into — or start inside — the next region's time range.
+		laneLen := func(ph ProcPhases) float64 {
+			var l float64
+			for _, d := range [...]float64{ph.Busy, ph.Imb, ph.Sync} {
+				if d > 0 {
+					l += d
+				}
+			}
+			return l
+		}
 		var elapsed float64
+		for _, ph := range reg.PerProc {
+			if l := laneLen(ph); l > elapsed {
+				elapsed = l
+			}
+		}
 		for p, ph := range reg.PerProc {
 			tid := int64(p)
 			ts := cum
 			emit := func(name string, dur float64) {
-				if dur > 0 {
-					tr.Emit(pid, tid, "sim", name, ts, dur, args)
+				if dur <= 0 {
+					return
 				}
+				tr.Emit(pid, tid, "sim", name, ts, dur, args)
 				ts += dur
 			}
 			emit("busy", ph.Busy)
 			emit("imb", ph.Imb)
 			emit("sync", ph.Sync)
-			if total := ph.Busy + ph.Sync + ph.Imb; total > elapsed {
-				elapsed = total
+			// Pad the short lane up to the region boundary (tolerating
+			// float accumulation fuzz) so the slices tile exactly.
+			if pad := cum + elapsed - ts; pad > tileEps*elapsed {
+				tr.Emit(pid, tid, "sim", "untracked", ts, pad, args)
 			}
 		}
 		cum += elapsed
 	}
 }
+
+// tileEps is the relative slack below which a lane's shortfall against the
+// region's elapsed cycles is treated as floating-point fuzz, not a gap worth
+// an "untracked" pad slice.
+const tileEps = 1e-9

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"scaltool/internal/obs"
+)
+
+// decodeSlices returns the X-phase slices of the timeline's sim process,
+// keyed by lane (thread id), in emission order.
+func decodeSlices(t *testing.T, tr *obs.Tracer, proc string) map[int64][]struct {
+	Name    string
+	TS, Dur float64
+} {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int64          `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	simPID := int64(-1)
+	for _, e := range got.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" && e.Args["name"] == proc {
+			simPID = e.PID
+		}
+	}
+	if simPID < 0 {
+		t.Fatalf("no %q process in trace", proc)
+	}
+	out := map[int64][]struct {
+		Name    string
+		TS, Dur float64
+	}{}
+	for _, e := range got.TraceEvents {
+		if e.PID == simPID && e.Ph == "X" {
+			out[e.TID] = append(out[e.TID], struct {
+				Name    string
+				TS, Dur float64
+			}{e.Name, e.TS, e.Dur})
+		}
+	}
+	return out
+}
+
+// TestAppendTimelineSkewedLanes is the regression test for the lane-tiling
+// bug: AppendTimeline used to assume every lane's Busy+Sync+Imb spans the
+// region's elapsed cycles exactly. Attribution that doesn't honor that — a
+// short lane, or a negative phase that rewound the lane cursor — let slices
+// of one region silently overlap its neighbors. The exporter must instead
+// drop negative phases, pad short lanes with an explicit "untracked" slice,
+// and keep every region's slices inside its own time range.
+func TestAppendTimelineSkewedLanes(t *testing.T) {
+	res := &Result{
+		Procs: 2,
+		Ground: GroundTruth{
+			Regions: []RegionAttribution{
+				{
+					// Region 1, elapsed 100: lane 0 full, lane 1 short by 40.
+					Name: "skewA",
+					PerProc: []ProcPhases{
+						{Busy: 70, Imb: 10, Sync: 20},
+						{Busy: 50, Imb: 0, Sync: 10},
+					},
+				},
+				{
+					// Region 2, elapsed 95 (lane 1): lane 0 carries a corrupt
+					// negative sync phase — it must be dropped (not rewind the
+					// cursor), leaving lane 0's positive slices 15 cycles short
+					// of the region boundary, made up with an untracked pad.
+					Name: "skewB",
+					PerProc: []ProcPhases{
+						{Busy: 60, Imb: 20, Sync: -15},
+						{Busy: 40, Imb: 30, Sync: 25},
+					},
+				},
+			},
+		},
+	}
+	tr := obs.NewTracer()
+	AppendTimeline(tr, res, "skew")
+	lanes := decodeSlices(t, tr, "sim skew")
+	if len(lanes) != 2 {
+		t.Fatalf("got %d lanes, want 2", len(lanes))
+	}
+
+	const r1End, r2End = 100.0, 195.0
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-9*(math.Abs(b)+1) }
+	for tid, slices := range lanes {
+		cursor := 0.0
+		for i, s := range slices {
+			if s.Dur <= 0 {
+				t.Errorf("lane %d slice %d (%s): non-positive dur %g", tid, i, s.Name, s.Dur)
+			}
+			if !approx(s.TS, cursor) {
+				t.Errorf("lane %d slice %d (%s): starts at %g, cursor %g (gap or overlap)",
+					tid, i, s.Name, s.TS, cursor)
+			}
+			cursor = s.TS + s.Dur
+			// No slice may straddle a region boundary.
+			if s.TS < r1End && s.TS+s.Dur > r1End+1e-9 {
+				t.Errorf("lane %d slice %d (%s) [%g,%g] straddles the region boundary at %g",
+					tid, i, s.Name, s.TS, s.TS+s.Dur, r1End)
+			}
+		}
+		// Every lane tiles exactly to the end of the last region.
+		if !approx(cursor, r2End) {
+			t.Errorf("lane %d ends at %g, want %g", tid, cursor, r2End)
+		}
+	}
+
+	// Lane 1 was short in region 1 by 40 cycles: the pad slice must carry
+	// the explicit "untracked" name, not masquerade as attribution.
+	var pad float64
+	for _, s := range lanes[1] {
+		if s.Name == "untracked" && s.TS < r1End {
+			pad += s.Dur
+		}
+	}
+	if !approx(pad, 40) {
+		t.Errorf("lane 1 region 1 untracked pad = %g, want 40", pad)
+	}
+
+	// Lane 0's negative sync phase in region 2 is dropped, and its lane is
+	// padded back to the region boundary — 15 cycles of untracked time.
+	var negPad float64
+	for _, s := range lanes[0] {
+		if s.Name == "untracked" && s.TS >= r1End {
+			negPad += s.Dur
+		}
+	}
+	if !approx(negPad, 15) {
+		t.Errorf("lane 0 region 2 untracked pad = %g, want 15", negPad)
+	}
+}
+
+// TestAppendTimelineEngineResultHasNoPads checks that an engine-produced
+// Result — whose attribution honors the tiling invariant by construction —
+// never needs an untracked pad slice.
+func TestAppendTimelineEngineResultHasNoPads(t *testing.T) {
+	p := buildSweep(t, 4, 16<<10, 3, false)
+	res := run(t, p)
+	tr := obs.NewTracer()
+	AppendTimeline(tr, res, "clean")
+	for tid, slices := range decodeSlices(t, tr, "sim clean") {
+		for _, s := range slices {
+			if s.Name == "untracked" {
+				t.Errorf("lane %d: engine result produced untracked pad [%g,%g]", tid, s.TS, s.Dur)
+			}
+		}
+	}
+}

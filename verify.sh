@@ -25,6 +25,12 @@ go test -run 'Chaos.*Resume' -race ./internal/campaign/...
 echo "==> observability e2e (tiny campaign; trace + metrics must parse)"
 go test -run TestObsEndToEnd ./cmd/scaltool/
 
+echo "==> run-cache race gate (singleflight + LRU eviction under the race detector)"
+go test -race ./internal/runcache/... ./internal/serve/...
+
+echo "==> serving e2e (scaltoold: bind, concurrent cached analyses, SIGTERM drain)"
+go test -run TestScaltooldServeE2E ./cmd/scaltoold/
+
 echo "==> scalvet"
 go run ./cmd/scalvet ./...
 
