@@ -156,8 +156,8 @@ func commonFlags(name string) *common {
 		heartbeat:     fs.Duration("heartbeat-timeout", 0, "worker watchdog: restart a run making no progress for this long (0 = off)"),
 		maxRestarts:   fs.Int("max-worker-restarts", 2, "watchdog restarts one run gets before it is quarantined"),
 
-		cacheMB:  fs.Int("run-cache-mb", 0, "content-addressed run cache budget in MiB (0 = off): repeated (machine, program) runs skip re-simulation"),
-		cacheDir: fs.String("run-cache-dir", "", "spill evicted run-cache entries to this directory (needs -run-cache-mb)"),
+		cacheMB:    fs.Int("run-cache-mb", 0, "content-addressed run cache budget in MiB (0 = off): repeated (machine, program) runs skip re-simulation"),
+		cacheDir:   fs.String("run-cache-dir", "", "spill evicted run-cache entries to this directory (needs -run-cache-mb)"),
 		traceOut:   fs.String("trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)"),
 		metricsOut: fs.String("metrics-out", "", "write a Prometheus text-format metrics snapshot to this file"),
 		logLevel:   fs.String("log-level", "warn", "structured log level: debug | info | warn | error"),

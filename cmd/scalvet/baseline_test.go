@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotSrc is a sim entry point with one hot-loop allocation — the debt the
+// baseline will record.
+const hotSrc = `package sim
+
+type Config struct{ N int }
+
+var sink [][]uint64
+
+func Run(cfg Config) {
+	for i := 0; i < cfg.N; i++ {
+		row := make([]uint64, cfg.N)
+		sink = append(sink, row)
+	}
+}
+`
+
+// hotSrcRegressed adds a second fresh allocation to the same function: one
+// finding over the baselined budget.
+const hotSrcRegressed = `package sim
+
+type Config struct{ N int }
+
+var sink [][]uint64
+
+func Run(cfg Config) {
+	for i := 0; i < cfg.N; i++ {
+		row := make([]uint64, cfg.N)
+		sink = append(sink, row)
+		extra := make([]uint64, cfg.N)
+		sink = append(sink, extra)
+	}
+}
+`
+
+// hotSrcFixed removes the allocation entirely, leaving the baseline stale.
+const hotSrcFixed = `package sim
+
+type Config struct{ N int }
+
+var sink [][]uint64
+
+func Run(cfg Config) {
+	row := make([]uint64, 1)
+	sink = append(sink, row)
+}
+`
+
+func runScalvet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBaselineWriteCheckCycle(t *testing.T) {
+	writeModule(t, map[string]string{
+		"go.mod":              "module throwaway\n\ngo 1.22\n",
+		"internal/sim/run.go": hotSrc,
+	})
+
+	// Debt exists: the plain run fails.
+	if code, out, _ := runScalvet(t, "./..."); code != 1 || !strings.Contains(out, "hotalloc") {
+		t.Fatalf("plain run = %d, want 1 with a hotalloc finding:\n%s", code, out)
+	}
+
+	// Record it.
+	if code, _, errb := runScalvet(t, "-baseline", "write", "./..."); code != 0 {
+		t.Fatalf("-baseline write = %d, want 0 (stderr: %s)", code, errb)
+	}
+	data, err := os.ReadFile("scalvet.baseline.json")
+	if err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+	for _, want := range []string{`"analyzer": "hotalloc"`, `"file": "internal/sim/run.go"`, `"symbol": "Run"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("baseline missing %s:\n%s", want, data)
+		}
+	}
+
+	// Same code under -baseline check: clean.
+	if code, out, errb := runScalvet(t, "-baseline", "check", "./..."); code != 0 {
+		t.Fatalf("-baseline check on unchanged code = %d, want 0\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+}
+
+// TestBaselineGateCatchesFreshAllocation is the gate-prover: a NEW hot-path
+// allocation in an already-baselined function must still fail -baseline
+// check — the per-key count budget, not the key alone, decides.
+func TestBaselineGateCatchesFreshAllocation(t *testing.T) {
+	writeModule(t, map[string]string{
+		"go.mod":              "module throwaway\n\ngo 1.22\n",
+		"internal/sim/run.go": hotSrc,
+	})
+	if code, _, errb := runScalvet(t, "-baseline", "write", "./..."); code != 0 {
+		t.Fatalf("-baseline write = %d (stderr: %s)", code, errb)
+	}
+
+	if err := os.WriteFile(filepath.Join("internal", "sim", "run.go"), []byte(hotSrcRegressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runScalvet(t, "-baseline", "check", "./...")
+	if code != 1 {
+		t.Fatalf("-baseline check on regressed code = %d, want 1\nstdout: %s", code, out)
+	}
+	if n := strings.Count(out, "hotalloc"); n != 1 {
+		t.Errorf("exactly the finding beyond the budget must surface, got %d:\n%s", n, out)
+	}
+}
+
+func TestBaselineReportsStaleEntries(t *testing.T) {
+	writeModule(t, map[string]string{
+		"go.mod":              "module throwaway\n\ngo 1.22\n",
+		"internal/sim/run.go": hotSrc,
+	})
+	if code, _, errb := runScalvet(t, "-baseline", "write", "./..."); code != 0 {
+		t.Fatalf("-baseline write = %d (stderr: %s)", code, errb)
+	}
+
+	if err := os.WriteFile(filepath.Join("internal", "sim", "run.go"), []byte(hotSrcFixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runScalvet(t, "-baseline", "check", "./...")
+	if code != 0 {
+		t.Fatalf("fixing debt must keep the gate green, got %d (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(errb, "stale baseline entry") {
+		t.Errorf("paid-down debt must be reported as stale:\n%s", errb)
+	}
+}
+
+func TestBaselineRejectsBadMode(t *testing.T) {
+	writeModule(t, map[string]string{"go.mod": "module throwaway\n\ngo 1.22\n", "p/p.go": "package p\n"})
+	code, _, errb := runScalvet(t, "-baseline", "prune", "./...")
+	if code != 2 || !strings.Contains(errb, `"write" or "check"`) {
+		t.Fatalf("bad -baseline mode = %d, want 2 with usage hint (stderr: %s)", code, errb)
+	}
+}
+
+func TestHelpDocumentsExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-help"}, &out, &errb); code != 0 {
+		t.Fatalf("-help = %d, want 0", code)
+	}
+	help := errb.String()
+	for _, want := range []string{"Exit codes:", "0  clean", "1  findings", "2  usage error", "-baseline"} {
+		if !strings.Contains(help, want) {
+			t.Errorf("help text missing %q:\n%s", want, help)
+		}
+	}
+}

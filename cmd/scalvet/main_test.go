@@ -114,7 +114,10 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("run -list = %d, want 0", code)
 	}
-	for _, name := range []string{"floatcmp", "counterconv", "loopcapture", "sharedmut", "panicmsg", "exhauststate"} {
+	for _, name := range []string{
+		"floatcmp", "counterconv", "loopcapture", "sharedmut", "panicmsg", "exhauststate",
+		"hotalloc", "deferloop", "atomicmix", "mutexcopy", "ctxhttp",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s", name)
 		}

@@ -19,6 +19,22 @@
 //   - spanend:      StartSpan spans with no deferred or per-return-path End
 //   - closecheck:   discarded (*os.File).Close/Sync errors on write paths
 //
+// scalvet v2 adds a whole-program layer (facts.go): a conservative
+// cross-package call graph, hot-path reachability from sim.Run/RunContext,
+// HTTP-handler-shaped functions and //scalvet:hot annotations, and a small
+// intraprocedural escape lattice (escape.go). On top of it:
+//
+//   - hotalloc:     allocations, append-without-preallocation, boxing and
+//     fmt use inside hot-reachable functions
+//   - deferloop:    defer or span-start inside loops of hot functions
+//   - atomicmix:    fields accessed both via sync/atomic and plainly
+//   - mutexcopy:    sync types copied by value (embedding included)
+//   - ctxhttp:      serve handlers spawning work without r.Context()
+//
+// Pre-existing findings are tracked, not silenced, by the committed
+// baseline (baseline.go, scalvet.baseline.json) keyed by
+// analyzer+file+symbol so line churn does not invalidate entries.
+//
 // A diagnostic on a given line is suppressed by a trailing
 // "//scalvet:ignore reason" comment on the same line or by one on its own
 // line immediately above. The reason is mandatory: a bare ignore is itself
@@ -34,12 +50,15 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, positioned at file:line:col.
+// Diagnostic is one finding, positioned at file:line:col. Symbol names the
+// enclosing top-level declaration — the stable half of the baseline key, so
+// unrelated line churn in a file does not invalidate tracked debt.
 type Diagnostic struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
+	Symbol   string `json:"symbol,omitempty"`
 	Message  string `json:"message"`
 }
 
@@ -81,17 +100,25 @@ func (a *Analyzer) appliesTo(pkgPath string) bool {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, CounterConv, LoopCapture, SharedMut, PanicMsg, ExhaustState, CtxGo, SpanEnd, CloseCheck}
+	return []*Analyzer{
+		FloatCmp, CounterConv, LoopCapture, SharedMut, PanicMsg, ExhaustState,
+		CtxGo, SpanEnd, CloseCheck,
+		HotAlloc, DeferLoop, AtomicMix, MutexCopy, CtxHTTP,
+	}
 }
 
-// Pass carries one analyzer's run over one package.
+// Pass carries one analyzer's run over one package. Facts exposes the
+// whole-program layer (call graph, hot-path reachability, atomic census,
+// escape lattices) computed once over every loaded package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Facts    *Facts
 	diags    []Diagnostic
 }
 
-// Reportf records a diagnostic at pos.
+// Reportf records a diagnostic at pos, attributing it to the enclosing
+// top-level declaration.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	p.diags = append(p.diags, Diagnostic{
@@ -99,8 +126,62 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
+		Symbol:   p.symbolAt(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// symbolAt names the top-level declaration covering pos: "F", "T.M" for
+// methods (pointer receivers included, without the star), or the first
+// declared name of a var/const/type block.
+func (p *Pass) symbolAt(pos token.Pos) string {
+	for _, f := range p.Pkg.Files {
+		if pos < f.FileStart || pos > f.FileEnd {
+			continue
+		}
+		for _, d := range f.Decls {
+			if pos < d.Pos() || pos > d.End() {
+				continue
+			}
+			switch dd := d.(type) {
+			case *ast.FuncDecl:
+				return funcDeclSymbol(dd)
+			case *ast.GenDecl:
+				for _, spec := range dd.Specs {
+					switch sp := spec.(type) {
+					case *ast.ValueSpec:
+						if len(sp.Names) > 0 {
+							return sp.Names[0].Name
+						}
+					case *ast.TypeSpec:
+						return sp.Name.Name
+					}
+				}
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// funcDeclSymbol renders a declaration's baseline symbol: "F" or "T.M".
+func funcDeclSymbol(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.Ident:
+			return x.Name + "." + d.Name.Name
+		default:
+			return d.Name.Name
+		}
+	}
 }
 
 // TypeOf returns the type of an expression (nil if untypeable).
@@ -114,12 +195,15 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 }
 
 // Run applies the analyzers (respecting their package filters) to the
-// packages, drops //scalvet:ignore'd findings, and returns the remainder
-// sorted by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// module set's requested packages, drops //scalvet:ignore'd findings, and
+// returns the remainder sorted by position. Program facts (call graph, hot
+// reachability, atomic census) are computed over every loaded package —
+// imports included — so reachability does not stop at the pattern boundary.
+func Run(ms *ModuleSet, analyzers []*Analyzer) []Diagnostic {
+	facts := buildFacts(ms.All)
 	var all []Diagnostic
-	for _, pkg := range pkgs {
-		all = append(all, runPackage(pkg, analyzers, true)...)
+	for _, pkg := range ms.Requested {
+		all = append(all, runPackage(pkg, facts, analyzers, true)...)
 	}
 	sortDiags(all)
 	return all
@@ -127,21 +211,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // RunUnfiltered runs the analyzers over one package ignoring their package
 // filters (fixture tests use it); //scalvet:ignore suppression still
-// applies.
+// applies, and facts are computed from the package alone.
 func RunUnfiltered(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	diags := runPackage(pkg, analyzers, false)
+	diags := runPackage(pkg, buildFacts([]*Package{pkg}), analyzers, false)
 	sortDiags(diags)
 	return diags
 }
 
-func runPackage(pkg *Package, analyzers []*Analyzer, applyPathFilter bool) []Diagnostic {
+func runPackage(pkg *Package, facts *Facts, analyzers []*Analyzer, applyPathFilter bool) []Diagnostic {
 	ig := collectIgnores(pkg)
 	out := append([]Diagnostic(nil), ig.malformed...)
 	for _, a := range analyzers {
 		if applyPathFilter && !a.appliesTo(pkg.Path) {
 			continue
 		}
-		pass := &Pass{Analyzer: a, Pkg: pkg}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts}
 		a.Run(pass)
 		for _, d := range pass.diags {
 			if ig.suppressed(d.File, d.Line) {

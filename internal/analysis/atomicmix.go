@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AtomicMix flags mixed atomic/plain access to the same memory: a struct
+// field or package variable whose address is passed to sync/atomic anywhere
+// in the program, but which is also read or written plainly. The plain
+// access is the bug — on the hardware the DSM simulator models (and on the
+// hardware Go runs on) it races with the atomic side, and the race detector
+// only catches it when a test happens to interleave both. The census is
+// whole-program (facts.go), so an atomic access in one package convicts a
+// plain access in another.
+//
+// Typed atomics (atomic.Uint64 and friends) are immune by construction:
+// their value is unexported, so every access goes through methods.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags fields accessed both via sync/atomic and plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Idents that are themselves part of an atomic call's &operand.
+		atomicOperand := map[*ast.Ident]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			ast.Inspect(addr.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					atomicOperand[id] = true
+				}
+				return true
+			})
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicOperand[id] {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			uses := pass.Facts.AtomicUses(obj)
+			if len(uses) == 0 {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is accessed via sync/atomic (e.g. %s:%d) but plainly here; use sync/atomic for every access, or a typed atomic",
+				id.Name, shortPath(uses[0].Filename), uses[0].Line)
+			return true
+		})
+	}
+}
+
+// shortPath trims a position filename to its last two path elements.
+func shortPath(p string) string {
+	slashes := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			slashes++
+			if slashes == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestAtomicMix(t *testing.T) { testFixture(t, AtomicMix, "atomicmix") }

@@ -1,0 +1,143 @@
+package analysis
+
+// baseline.go — tracked debt for scalvet. New analyzers inevitably convict
+// existing code; silencing them with blanket ignores would hide new
+// regressions in the same functions. The baseline records today's findings
+// in a committed JSON file keyed by (analyzer, file, symbol) — NOT by line,
+// so unrelated churn above a finding does not invalidate the entry — with a
+// count per key. `scalvet -baseline check` suppresses up to count findings
+// per key: a *new* finding in a baselined function still fails the gate the
+// moment the key's count is exceeded, and fixing debt shows up as stale
+// entries to prune with `-baseline write`.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// BaselineEntry is one unit of tracked debt.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-root-relative with forward slashes.
+	File   string `json:"file"`
+	Symbol string `json:"symbol"`
+	Count  int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Symbol
+}
+
+// Baseline is a loaded (or freshly computed) debt ledger.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// NewBaseline aggregates diagnostics into a ledger, relativizing file paths
+// against the module root.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range diags {
+		e := BaselineEntry{Analyzer: d.Analyzer, File: baselineFile(root, d.File), Symbol: d.Symbol}
+		k := e.key()
+		if have, ok := counts[k]; ok {
+			have.Count++
+			continue
+		}
+		e.Count = 1
+		counts[k] = &e
+	}
+	b := &Baseline{Version: baselineVersion}
+	for _, e := range counts {
+		b.Entries = append(b.Entries, *e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Symbol != c.Symbol {
+			return a.Symbol < c.Symbol
+		}
+		return a.Analyzer < c.Analyzer
+	})
+	return b
+}
+
+// WriteFile persists the ledger (stable formatting, trailing newline).
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a ledger; a missing file is an empty ledger, so the
+// check mode works in repos that have not adopted a baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s has version %d, this scalvet reads %d (regenerate with -baseline write)",
+			path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Apply filters diagnostics through the ledger: per key, up to Count
+// findings (in position order, as Run sorts them) are suppressed. It
+// returns the findings exceeding their budget — the gate's failures — and
+// the stale entries whose budget was not fully consumed, which a developer
+// should prune by re-running -baseline write.
+func (b *Baseline) Apply(root string, diags []Diagnostic) (remaining []Diagnostic, stale []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[e.key()] += e.Count
+	}
+	for _, d := range diags {
+		k := BaselineEntry{Analyzer: d.Analyzer, File: baselineFile(root, d.File), Symbol: d.Symbol}.key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		remaining = append(remaining, d)
+	}
+	for _, e := range b.Entries {
+		if budget[e.key()] > 0 {
+			left := e
+			left.Count = budget[e.key()]
+			budget[e.key()] = 0 // report a key once even if listed twice
+			stale = append(stale, left)
+		}
+	}
+	return remaining, stale
+}
+
+// baselineFile canonicalizes a diagnostic's file path for keying:
+// module-root-relative, slash-separated.
+func baselineFile(root, file string) string {
+	if root != "" && filepath.IsAbs(file) {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestCtxHTTP(t *testing.T) { testFixture(t, CtxHTTP, "ctxhttp") }
+
+func TestCtxHTTPAppliesOnlyToServe(t *testing.T) {
+	if !CtxHTTP.appliesTo("scaltool/internal/serve") {
+		t.Error("ctxhttp must cover the serving path")
+	}
+	if CtxHTTP.appliesTo("scaltool/internal/sim") || CtxHTTP.appliesTo("scaltool/internal/model") {
+		t.Error("ctxhttp must not apply outside internal/serve")
+	}
+}

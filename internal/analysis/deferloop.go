@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeferLoop flags two per-iteration costs inside loops of hot-reachable
+// functions:
+//
+//   - a defer statement — its function runs only when the *enclosing
+//     function* returns, so a defer in a hot loop accumulates one pending
+//     call per iteration (pinning whatever it captures) instead of
+//     releasing per iteration. A defer inside a function literal in the
+//     loop is fine: each call of the literal runs its own defers.
+//   - an obs.StartSpan call — spans are cheap but not free (two timestamps
+//     and an event append); the observability budget (DESIGN §9) is held by
+//     keeping spans at region granularity, never per iteration.
+var DeferLoop = &Analyzer{
+	Name: "deferloop",
+	Doc:  "flags defer or span-start inside loops of hot functions",
+	Run:  runDeferLoop,
+}
+
+func runDeferLoop(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !pass.Facts.HotDecl(pass.Pkg, decl) {
+				continue
+			}
+			fn := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+			chain := pass.Facts.HotChain(fn)
+			inspectWithStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.DeferStmt:
+					// Defers reset at function-literal boundaries.
+					if loopsEnclosing(stack, true) > 0 {
+						pass.Reportf(x.Pos(), "defer inside a hot loop runs only at function return, accumulating one pending call per iteration (hot path: %s); release inline or wrap the body in a function", chain)
+					}
+				case *ast.CallExpr:
+					if loopsEnclosing(stack, false) == 0 {
+						return true
+					}
+					if fn := calleeFunc(pass.Pkg.Info, x); fn != nil && fn.Name() == "StartSpan" &&
+						fn.Pkg() != nil && isObsPackage(fn.Pkg().Path()) {
+						pass.Reportf(x.Pos(), "span started inside a hot loop adds per-iteration tracing overhead (hot path: %s); hoist the span to the loop or region level", chain)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isObsPackage(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}

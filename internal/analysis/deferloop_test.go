@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestDeferLoop(t *testing.T) { testFixture(t, DeferLoop, "deferloop") }

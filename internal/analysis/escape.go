@@ -1,0 +1,347 @@
+package analysis
+
+// escape.go — a small intraprocedural dataflow lattice over one function
+// declaration: for every local variable, does the value stored in it stay
+// local to the function or can it escape (be observed after the function
+// returns, or by another goroutine)? The lattice has two points, Local ⊑
+// Escapes, with a conditional-flow twist: an assignment `a = b` makes b's
+// escape depend on a's, so the analysis seeds the certainly-escaping
+// variables and propagates over dependency edges to a fixed point.
+//
+// It is deliberately conservative — closer to "provably stays local" than to
+// the compiler's escape analysis. A variable escapes when it is:
+//
+//   - returned;
+//   - address-taken (&x anywhere);
+//   - passed to any call (except len/cap/delete/copy/print/println, and the
+//     appended-to slice of append);
+//   - assigned into a non-local lvalue, or into an lvalue rooted at an
+//     escaping variable;
+//   - captured by a function literal;
+//   - sent on a channel;
+//   - a parameter or receiver (its value is visible to the caller).
+//
+// hotalloc uses the lattice to skip in-loop allocations the compiler can
+// stack-allocate (constant size, provably local); other analyzers can query
+// it through Facts.EscapeOf.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EscapeInfo is the fixed point of the lattice for one declaration.
+type EscapeInfo struct {
+	esc map[types.Object]bool
+}
+
+// Escapes reports whether the value held by obj can outlive the function.
+// Unknown objects (not locals of the analyzed declaration) escape.
+func (e *EscapeInfo) Escapes(obj types.Object) bool {
+	if obj == nil {
+		return true
+	}
+	escaped, known := e.esc[obj]
+	return !known || escaped
+}
+
+// escapeState carries one analysis in flight.
+type escapeState struct {
+	info *types.Info
+	// esc: local → currently known to escape.
+	esc map[types.Object]bool
+	// deps: if key escapes, the dependents escape too (built from copies
+	// `a = b` ⇒ deps[a] ∋ b and stores `a.f = b` ⇒ deps[a] ∋ b).
+	deps map[types.Object][]types.Object
+	// locals is the universe: objects defined inside the declaration.
+	locals map[types.Object]bool
+}
+
+func escapeAnalysis(pkg *Package, decl *ast.FuncDecl) *EscapeInfo {
+	st := &escapeState{
+		info:   pkg.Info,
+		esc:    map[types.Object]bool{},
+		deps:   map[types.Object][]types.Object{},
+		locals: map[types.Object]bool{},
+	}
+	// Universe: everything defined inside the declaration, parameters and
+	// receiver included.
+	ast.Inspect(decl, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := st.info.Defs[id].(*types.Var); ok && obj != nil {
+			st.locals[obj] = true
+		}
+		return true
+	})
+	// Parameters and the receiver are caller-visible from the start.
+	if sig, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+		if s, ok := sig.Type().(*types.Signature); ok {
+			if r := s.Recv(); r != nil {
+				st.markEscape(r)
+			}
+			for i := 0; i < s.Params().Len(); i++ {
+				st.markEscape(s.Params().At(i))
+			}
+		}
+	}
+	if decl.Body != nil {
+		st.walk(decl.Body)
+		st.captures(decl.Body)
+	}
+	st.fixpoint()
+	return &EscapeInfo{esc: st.esc}
+}
+
+func (st *escapeState) markEscape(obj types.Object) {
+	if obj != nil && st.locals[obj] {
+		st.esc[obj] = true
+	}
+}
+
+// escapeLocalsIn seeds every local identifier of an expression as escaping.
+func (st *escapeState) escapeLocalsIn(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := st.info.Uses[id]; obj != nil {
+				st.markEscape(obj)
+			}
+		}
+		return true
+	})
+}
+
+// dependLocalsIn makes every local identifier of expr escape iff root does.
+func (st *escapeState) dependLocalsIn(root types.Object, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := st.info.Uses[id]; obj != nil && st.locals[obj] && obj != root {
+				st.deps[root] = append(st.deps[root], obj)
+			}
+		}
+		return true
+	})
+}
+
+func (st *escapeState) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				st.escapeLocalsIn(r)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				st.escapeLocalsIn(x.X)
+			}
+		case *ast.SendStmt:
+			st.escapeLocalsIn(x.Value)
+		case *ast.CallExpr:
+			st.call(x)
+			return true
+		case *ast.AssignStmt:
+			st.assign(x)
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				obj := st.info.Defs[name]
+				if obj == nil || i >= len(x.Values) {
+					continue
+				}
+				st.dependLocalsIn(obj, x.Values[i])
+			}
+		}
+		return true
+	})
+}
+
+// assign wires `lhs = rhs` pairs: a direct local target makes the rhs's
+// fate depend on the target's; a store through a selector/index path ties
+// the rhs to the path's root, and a non-local root publishes the rhs.
+func (st *escapeState) assign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		// Tuple assignment from a call: the call already handled the
+		// arguments; the results are fresh values, no local-to-local flow.
+		return
+	}
+	for i, lhs := range as.Lhs {
+		rhs := as.Rhs[i]
+		root, direct := lvalueRoot(lhs)
+		if root == nil {
+			st.escapeLocalsIn(rhs)
+			continue
+		}
+		obj := st.info.Uses[root]
+		if obj == nil {
+			obj = st.info.Defs[root]
+		}
+		if obj == nil || !st.locals[obj] {
+			st.escapeLocalsIn(rhs) // store into a global or unknown base
+			continue
+		}
+		if !direct {
+			// x.f = y / x[i] = y: y becomes reachable from x.
+			st.dependLocalsIn(obj, rhs)
+			continue
+		}
+		st.dependLocalsIn(obj, rhs)
+	}
+}
+
+// lvalueRoot unwraps an lvalue to its base identifier; direct reports a
+// plain `x = …` (no selector/index/deref path).
+func lvalueRoot(e ast.Expr) (root *ast.Ident, direct bool) {
+	direct = true
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, direct
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e, direct = x.X, false
+		case *ast.IndexExpr:
+			e, direct = x.X, false
+		case *ast.StarExpr:
+			e, direct = x.X, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// call treats arguments as escaping, with carve-outs for the non-retaining
+// builtins and for append's destination slice.
+func (st *escapeState) call(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := st.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "delete", "copy", "print", "println":
+				return
+			case "append":
+				// append(s, elems…): the slice header is copied, not
+				// retained; the elements land in s's backing array, so they
+				// escape exactly when s does.
+				if len(call.Args) == 0 {
+					return
+				}
+				if root, _ := lvalueRoot(call.Args[0]); root != nil {
+					if obj := st.info.Uses[root]; obj != nil && st.locals[obj] {
+						for _, el := range call.Args[1:] {
+							st.dependLocalsIn(obj, el)
+						}
+						return
+					}
+				}
+				for _, el := range call.Args[1:] {
+					st.escapeLocalsIn(el)
+				}
+				return
+			case "make", "new":
+				return
+			}
+		}
+	}
+	// Method call: the receiver may be retained by the callee.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := st.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			st.escapeRefsIn(sel.X)
+		}
+	}
+	for _, a := range call.Args {
+		st.escapeRefsIn(a)
+	}
+}
+
+// escapeRefsIn is escapeLocalsIn restricted to reference-carrying values: a
+// subexpression of basic type (tmp[0], s.count, int(x)) is a scalar copy
+// that cannot retain the container it was read from, so its idents stay
+// local. Address-of operands keep full marking — &x hands out a reference
+// regardless of x's type.
+func (st *escapeState) escapeRefsIn(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				st.escapeLocalsIn(x.X)
+				return false
+			}
+		case ast.Expr:
+			if t := st.info.TypeOf(x); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() != types.Invalid {
+					return false // scalar value: copies, never aliases
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := st.info.Uses[id]; obj != nil {
+				st.markEscape(obj)
+			}
+		}
+		return true
+	})
+}
+
+// captures marks locals of the enclosing declaration that a nested function
+// literal closes over.
+func (st *escapeState) captures(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		litLocal := map[types.Object]bool{}
+		ast.Inspect(lit, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := st.info.Defs[id]; obj != nil {
+					litLocal[obj] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := st.info.Uses[id]; obj != nil && st.locals[obj] && !litLocal[obj] {
+					st.markEscape(obj)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// fixpoint propagates escape over the dependency edges until stable.
+func (st *escapeState) fixpoint() {
+	queue := make([]types.Object, 0, len(st.esc))
+	for obj := range st.esc {
+		queue = append(queue, obj)
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		for _, dep := range st.deps[obj] {
+			if !st.esc[dep] {
+				st.esc[dep] = true
+				queue = append(queue, dep)
+			}
+		}
+	}
+	// Everything local and never marked is provably Local.
+	for obj := range st.locals {
+		if _, ok := st.esc[obj]; !ok {
+			st.esc[obj] = false
+		}
+	}
+}

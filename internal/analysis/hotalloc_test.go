@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestHotAlloc(t *testing.T) { testFixture(t, HotAlloc, "hotalloc") }

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestModule(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// moduleRoot resolves the repo root from this package's directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func renderDiags(ds []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	return b.String()
+}
+
+// TestParallelLoadMatchesSerial is the correctness contract of the parallel
+// loader: over the full module, the concurrent parse/type-check pipeline
+// must produce byte-identical diagnostics to the single-goroutine reference
+// implementation — same files, same positions, same order.
+func TestParallelLoadMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module twice")
+	}
+	root := moduleRoot(t)
+
+	par, err := LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("parallel load: %v", err)
+	}
+	ser, err := LoadModuleSerial(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("serial load: %v", err)
+	}
+
+	if lp, ls := len(par.Requested), len(ser.Requested); lp != ls {
+		t.Fatalf("requested package count differs: parallel %d, serial %d", lp, ls)
+	}
+	if lp, ls := len(par.All), len(ser.All); lp != ls {
+		t.Fatalf("loaded package count differs: parallel %d, serial %d", lp, ls)
+	}
+	for i := range par.All {
+		if par.All[i].Path != ser.All[i].Path {
+			t.Fatalf("package order differs at %d: parallel %s, serial %s", i, par.All[i].Path, ser.All[i].Path)
+		}
+	}
+
+	got := renderDiags(Run(par, All()))
+	want := renderDiags(Run(ser, All()))
+	if got != want {
+		t.Errorf("parallel and serial loads disagree on diagnostics:\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+}
+
+// TestLoadModuleCycleError proves the parallel scheduler rejects import
+// cycles with an error instead of deadlocking its worker pool.
+func TestLoadModuleCycleError(t *testing.T) {
+	dir := t.TempDir()
+	writeTestModule(t, dir, map[string]string{
+		"go.mod":    "module cyclemod\n\ngo 1.22\n",
+		"a/a.go":    "package a\n\nimport \"cyclemod/b\"\n\nvar X = b.Y\n",
+		"b/b.go":    "package b\n\nimport \"cyclemod/a\"\n\nvar Y = 1\n\nvar Z = a.X\n",
+		"ok/ok.go":  "package ok\n",
+		"ok2/o2.go": "package ok2\n",
+	})
+	_, err := LoadModule(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("import cycle must fail the load")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error should name the cycle, got: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags sync types copied by value — a copied lock guards
+// nothing, and a copied WaitGroup/Once splits its state in two. Detection
+// is structural, so it survives embedding: a type "contains a lock" when
+// its pointer method set carries Lock and Unlock, or any struct field
+// (embedded or named, through arrays too) does.
+//
+// Flagged copy sites: value parameters, receivers and results; assignments
+// whose right side is an existing value (composite literals and calls mint
+// fresh values and are fine); range value variables; and call arguments.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags sync types copied by value, embedding included",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) {
+	mc := &mutexCopyCheck{pass: pass, cache: map[types.Type]string{}}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				mc.funcDecl(x)
+			case *ast.FuncLit:
+				mc.fieldList(x.Type.Params, "parameter")
+				mc.fieldList(x.Type.Results, "result")
+			case *ast.AssignStmt:
+				mc.assign(x)
+			case *ast.RangeStmt:
+				mc.rangeStmt(x)
+			case *ast.CallExpr:
+				mc.callArgs(x)
+			}
+			return true
+		})
+	}
+}
+
+type mutexCopyCheck struct {
+	pass  *Pass
+	cache map[types.Type]string
+}
+
+func (mc *mutexCopyCheck) funcDecl(d *ast.FuncDecl) {
+	if d.Recv != nil {
+		mc.fieldList(d.Recv, "receiver")
+	}
+	mc.fieldList(d.Type.Params, "parameter")
+	mc.fieldList(d.Type.Results, "result")
+}
+
+func (mc *mutexCopyCheck) fieldList(fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := mc.pass.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if culprit := mc.lockPath(t); culprit != "" {
+			mc.pass.Reportf(f.Type.Pos(), "%s passes %s by value, copying %s; use a pointer",
+				kind, mc.typeStr(t), culprit)
+		}
+	}
+}
+
+func (mc *mutexCopyCheck) assign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue // a discard evaluates, it does not store a copy
+		}
+		if !isExistingValue(rhs) {
+			continue
+		}
+		t := mc.pass.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if culprit := mc.lockPath(t); culprit != "" {
+			mc.pass.Reportf(as.Rhs[i].Pos(), "assignment copies %s by value, copying %s; use a pointer",
+				mc.typeStr(t), culprit)
+		}
+	}
+}
+
+func (mc *mutexCopyCheck) rangeStmt(r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	t := mc.pass.TypeOf(r.Value)
+	if t == nil {
+		return
+	}
+	if culprit := mc.lockPath(t); culprit != "" {
+		mc.pass.Reportf(r.Value.Pos(), "range value copies %s per iteration, copying %s; range over indices or pointers",
+			mc.typeStr(t), culprit)
+	}
+}
+
+func (mc *mutexCopyCheck) callArgs(call *ast.CallExpr) {
+	tv, ok := mc.pass.Pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversions re-type the same value
+	}
+	for _, arg := range call.Args {
+		if !isExistingValue(arg) {
+			continue
+		}
+		t := mc.pass.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if culprit := mc.lockPath(t); culprit != "" {
+			mc.pass.Reportf(arg.Pos(), "argument passes %s by value, copying %s; pass a pointer",
+				mc.typeStr(t), culprit)
+		}
+	}
+}
+
+// isExistingValue matches expressions denoting an already-stored value —
+// the shapes whose copy duplicates lock state. Fresh values (composite
+// literals, calls, conversions) are fine to move.
+func isExistingValue(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// lockPath reports how t transitively contains a lock: "" when it does not,
+// otherwise the innermost lock-bearing type's name. Pointers stop the
+// search — holding a *sync.Mutex is the fix, not the bug.
+func (mc *mutexCopyCheck) lockPath(t types.Type) string {
+	if c, ok := mc.cache[t]; ok {
+		return c
+	}
+	mc.cache[t] = "" // cycle guard: recursive types terminate as lock-free
+	res := mc.lockPathUncached(t)
+	mc.cache[t] = res
+	return res
+}
+
+func (mc *mutexCopyCheck) lockPathUncached(t types.Type) string {
+	switch u := t.(type) {
+	case *types.Named:
+		if hasLockUnlock(u) {
+			return mc.typeStr(u)
+		}
+		return mc.lockPath(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c := mc.lockPath(u.Field(i).Type()); c != "" {
+				return c
+			}
+		}
+	case *types.Array:
+		return mc.lockPath(u.Elem())
+	}
+	return ""
+}
+
+// hasLockUnlock reports whether *T's method set declares Lock and Unlock —
+// the sync.Locker contract that marks a type as must-not-copy (sync.Mutex,
+// RWMutex, and the noCopy sentinel inside WaitGroup, Once, Pool, the typed
+// atomics, …).
+func hasLockUnlock(n *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(n))
+	hasLock, hasUnlock := false, false
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := f.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 0 {
+			continue
+		}
+		switch f.Name() {
+		case "Lock":
+			hasLock = true
+		case "Unlock":
+			hasUnlock = true
+		}
+	}
+	return hasLock && hasUnlock
+}
+
+func (mc *mutexCopyCheck) typeStr(t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(mc.pass.Pkg.Types))
+}

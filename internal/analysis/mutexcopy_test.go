@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestMutexCopy(t *testing.T) { testFixture(t, MutexCopy, "mutexcopy") }

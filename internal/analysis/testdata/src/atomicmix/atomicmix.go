@@ -1,0 +1,60 @@
+// Fixture for the atomicmix analyzer.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits   uint64 // accessed atomically AND plainly: every plain use flagged
+	misses uint64 // plain-only: never flagged
+	typed  atomic.Uint64
+}
+
+var dropped uint64 // package var mixed the same way
+
+func (c *counters) record() {
+	atomic.AddUint64(&c.hits, 1) // the atomic side is the declared intent
+	c.misses++
+	c.typed.Add(1)
+	atomic.AddUint64(&dropped, 1)
+}
+
+func (c *counters) report() (uint64, uint64) {
+	h := c.hits  // want "hits is accessed via sync/atomic"
+	d := dropped // want "dropped is accessed via sync/atomic"
+	return h, d
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want "hits is accessed via sync/atomic"
+	c.misses = 0
+	c.typed.Store(0)
+	atomic.StoreUint64(&dropped, 0) // atomic access: fine
+}
+
+// readLoad uses the atomic API consistently: fine.
+func (c *counters) readLoad() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// lockOnly never touches sync/atomic, so plain access under the lock is
+// outside this analyzer's scope.
+func (g *guarded) lockOnly() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (c *counters) suppressed() uint64 {
+	a := c.hits //scalvet:ignore torn read acceptable in the stats snapshot
+	a += c.misses
+	b := c.hits /* want "hits is accessed via sync/atomic" "needs a reason" */ //scalvet:ignore
+	return a + b
+}

@@ -1,0 +1,50 @@
+// Fixture for the Facts layer: call-graph edges, interface dispatch,
+// function-value references, and hot propagation. Exercised by
+// facts_test.go rather than // want annotations.
+package callgraph
+
+type shaper interface{ area() int }
+
+type square struct{ s int }
+
+func (q square) area() int { return q.s * q.s }
+
+type circle struct{ r int }
+
+func (c *circle) area() int { return 3 * c.r * c.r }
+
+type blob struct{}
+
+func (b blob) unrelated() int { return 0 }
+
+//scalvet:hot fixture root
+func root(ss []shaper) int {
+	t := 0
+	for _, s := range ss {
+		t += s.area() // interface dispatch: expands to square.area and circle.area
+	}
+	t += helper()
+	return t
+}
+
+func helper() int { return leaf() }
+
+func leaf() int { return 1 }
+
+// coldOnly shares callees with root but is not itself reachable from it.
+func coldOnly() int { return leaf() }
+
+//scalvet:hot fixture root
+func viaValue() func() int {
+	return valueTarget // function-value reference, approximated as an edge
+}
+
+func valueTarget() int { return 2 }
+
+//scalvet:hot fixture root
+func viaClosure() int {
+	f := func() int { return closureTarget() }
+	return f()
+}
+
+func closureTarget() int { return 3 }

@@ -1,0 +1,57 @@
+// Fixture for the deferloop analyzer. Hotness comes from //scalvet:hot.
+package deferloop
+
+import "sync"
+
+type span struct{}
+
+func (span) End() {}
+
+type tracer struct{}
+
+// StartSpan mimics obs.StartSpan's shape; the obs-specific rule is
+// path-gated and exercised against the real package, not here.
+func (tracer) StartSpan(name string) span { return span{} }
+
+var mu sync.Mutex
+
+func body(i int) {}
+
+//scalvet:hot fixture root
+func hotDefers(n int) {
+	defer mu.Unlock() // function-scoped defer: fine
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		defer mu.Unlock() // want "defer inside a hot loop"
+		body(i)
+	}
+	for i := 0; i < n; i++ {
+		// Wrapping the iteration in a function literal scopes the defer
+		// to the iteration: the idiomatic fix, not flagged.
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+			body(i)
+		}()
+	}
+}
+
+//scalvet:hot suppression case
+func hotSuppressed(n int, release func()) {
+	for i := 0; i < n; i++ {
+		defer release() //scalvet:ignore teardown stack intentionally accumulated per run
+	}
+	for i := 0; i < n; i++ {
+		defer release() /* want "defer inside a hot loop" "needs a reason" */ //scalvet:ignore
+	}
+}
+
+// cold: same shape, no annotation, no findings.
+func cold(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		defer mu.Unlock()
+		body(i)
+	}
+}

@@ -1,0 +1,42 @@
+// Fixture for the escape lattice: each local's name says what shape of
+// flow it exercises; escape_test.go asserts the verdicts by name.
+package escapelat
+
+var sink []int
+
+func use(v []int)  {}
+func useInt(n int) {}
+
+func sample(n int, ch chan []int) ([]int, *int) {
+	returned := make([]int, 4)
+
+	addressed := 0
+	ptr := &addressed
+
+	sent := make([]int, 1)
+	ch <- sent
+
+	stored := make([]int, 2)
+	sink = stored
+
+	called := make([]int, 3)
+	use(called)
+
+	captured := make([]int, 5)
+	go func() { _ = captured }()
+
+	localOnly := make([]int, 6)
+	localOnly[0] = n
+	copied := localOnly
+	copied[0]++
+
+	aliasEsc := make([]int, 7)
+	alias2 := aliasEsc
+	sink = alias2
+
+	scalarRead := make([]int, 8)
+	useInt(scalarRead[0])
+
+	_ = ptr
+	return returned, &addressed
+}

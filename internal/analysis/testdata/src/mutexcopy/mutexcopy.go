@@ -1,0 +1,78 @@
+// Fixture for the mutexcopy analyzer.
+package mutexcopy
+
+import "sync"
+
+// box embeds a mutex two levels deep — detection is structural, so the
+// embedding chain still convicts copies of outer.
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+type outer struct {
+	b box
+}
+
+type plain struct{ n int }
+
+func byValue(b box) int { // want "parameter passes box by value"
+	return b.n
+}
+
+func byPointer(b *box) int { // pointer receiver of the copy problem: fine
+	return b.n
+}
+
+func returnsValue() (o outer) { // want "result passes outer by value"
+	return
+}
+
+func (b box) valueReceiver() int { // want "receiver passes box by value"
+	return b.n
+}
+
+func (b *box) pointerReceiver() int { return b.n }
+
+func assigns(src *outer, all []outer) {
+	cp := *src // want "assignment copies outer by value"
+	_ = cp
+	direct := all[0] // want "assignment copies outer by value"
+	_ = direct
+	fresh := outer{} // composite literal mints a fresh value: fine
+	_ = fresh
+	p := &all[1] // taking the address copies nothing: fine
+	_ = p
+}
+
+func ranges(all []box, safe []plain) int {
+	total := 0
+	for _, b := range all { // want "range value copies box per iteration"
+		total += b.n
+	}
+	for i := range all { // index-only range: fine
+		total += all[i].n
+	}
+	for _, s := range safe { // no lock anywhere in plain: fine
+		total += s.n
+	}
+	return total
+}
+
+func sink(v any) {}
+
+func callSites(b box, pb *box) { // want "parameter passes box by value"
+	sink(b) // want "argument passes box by value"
+	sink(pb)
+	funcLit := func(inner box) int { // want "parameter passes box by value"
+		return inner.n
+	}
+	_ = funcLit
+}
+
+func suppressed(src *box) {
+	cp := *src //scalvet:ignore snapshot taken before the mutex is ever used
+	_ = cp
+	again := *src /* want "assignment copies box by value" "needs a reason" */ //scalvet:ignore
+	_ = again
+}

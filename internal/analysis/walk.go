@@ -1,0 +1,62 @@
+package analysis
+
+import "go/ast"
+
+// inspectWithStack walks root in source order, passing each node together
+// with its ancestor stack (outermost first, the node itself excluded).
+// Returning false prunes the subtree, as with ast.Inspect.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// loopsEnclosing counts the for/range statements between a node (whose
+// ancestor stack is given) and the nearest enclosing function boundary,
+// counting a loop only when the node sits in its per-iteration region: a
+// range expression and a for's init run once, so `range append(base, xs…)`
+// is not a per-iteration allocation. stopAtFuncLit controls whether a
+// function literal resets the count — defer semantics reset at literals
+// (each call runs its own defers), while per-iteration cost accounting
+// does not.
+func loopsEnclosing(stack []ast.Node, stopAtFuncLit bool) int {
+	loops := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ForStmt:
+			if child(stack, i) != s.Init {
+				loops++
+			}
+		case *ast.RangeStmt:
+			if child(stack, i) == s.Body {
+				loops++
+			}
+		case *ast.FuncLit:
+			if stopAtFuncLit {
+				return loops
+			}
+		case *ast.FuncDecl:
+			return loops
+		}
+	}
+	return loops
+}
+
+// child returns the stack entry one step inside stack[i] (nil when stack[i]
+// is the innermost ancestor — the callback node itself is then the child,
+// which callers treat as per-iteration conservatively).
+func child(stack []ast.Node, i int) ast.Node {
+	if i+1 < len(stack) {
+		return stack[i+1]
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -379,7 +380,7 @@ func (rn *Runner) execute(ctx context.Context, app apps.App, plan Plan, d *durab
 				continue
 			}
 			if err := ex.replay(ctx, j, ev, d.retries[j.id]); err != nil {
-				obs.Log(ctx).Error("campaign aborted during journal replay", "app", plan.App, "err", err)
+				obs.Log(ctx).Error("campaign aborted during journal replay", "app", plan.App, "err", err) //scalvet:ignore abort path, runs at most once per campaign
 				_ = d.close()
 				return nil, err
 			}
@@ -551,7 +552,7 @@ func (ex *executor) run(ctx context.Context, j job) {
 			// The watchdog canceled a stalled attempt but the run still has
 			// restart budget. Re-attempt immediately; watchdog restarts do
 			// not consume MaxRetries (the run never got to fail on its own).
-			reason := fmt.Errorf("campaign: %s attempt %d made no progress for %s; watchdog restarted it", j.id, attempt, rn.HeartbeatTimeout)
+			reason := fmt.Errorf("campaign: %s attempt %d made no progress for %s; watchdog restarted it", j.id, attempt, rn.HeartbeatTimeout) //scalvet:ignore a watchdog restart is exceptional, and the error text is the record
 			ex.res.Health.AddRetry(j.id, attempt, 0, reason)
 			rev := runEvent(evRetry, j)
 			rev.Attempt = attempt
@@ -562,16 +563,16 @@ func (ex *executor) run(ctx context.Context, j job) {
 			if mt := obs.Meter(ctx); mt != nil {
 				mt.Counter("scaltool_campaign_runs_retried_total", "campaign attempts retried after a retryable failure").Inc()
 			}
-			obs.Log(ctx).Warn("retrying run after watchdog restart", "attempt", attempt)
+			obs.Log(ctx).Warn("retrying run after watchdog restart", "attempt", attempt) //scalvet:ignore retry path: entered only after a stalled attempt
 			continue
 		}
 		if err == nil {
-			span.SetAttr("attempts", attempt+1)
+			span.SetAttr("attempts", attempt+1) //scalvet:ignore terminal path: runs once per job, then returns
 			ex.accept(ctx, j, out)
 			return
 		}
 		if ctx.Err() != nil || !retryable(err) || attempt >= rn.MaxRetries {
-			span.SetAttr("attempts", attempt+1)
+			span.SetAttr("attempts", attempt+1) //scalvet:ignore terminal path: runs once per job, then returns
 			ex.fail(ctx, j, err)
 			return
 		}
@@ -587,7 +588,7 @@ func (ex *executor) run(ctx context.Context, j job) {
 		if mt := obs.Meter(ctx); mt != nil {
 			mt.Counter("scaltool_campaign_runs_retried_total", "campaign attempts retried after a retryable failure").Inc()
 		}
-		obs.Log(ctx).Warn("retrying run", "attempt", attempt, "backoff", backoff, "err", err)
+		obs.Log(ctx).Warn("retrying run", "attempt", attempt, "backoff", backoff, "err", err) //scalvet:ignore retry path: entered only after a retryable failure
 		sleepCtx(ctx, backoff)
 	}
 }
@@ -600,8 +601,8 @@ func (ex *executor) quarantineHung(ctx context.Context, j job, w *worker) {
 		Run:      j.id,
 		Check:    "watchdog",
 		Severity: health.Quarantine,
-		Detail: fmt.Sprintf("no progress within %s across %d watchdog restart(s); restart budget exhausted",
-			ex.rn.HeartbeatTimeout, w.restartCount()),
+		Detail: "no progress within " + ex.rn.HeartbeatTimeout.String() +
+			" across " + strconv.Itoa(w.restartCount()) + " watchdog restart(s); restart budget exhausted",
 	}
 	ex.res.Health.Add(f)
 	logFindings(ctx, []health.Finding{f})
@@ -767,11 +768,11 @@ func logFindings(ctx context.Context, findings []health.Finding) {
 		}
 		switch f.Severity {
 		case health.Quarantine:
-			obs.Log(ctx).Error("health finding", "check", f.Check, "detail", f.Detail)
+			obs.Log(ctx).Error("health finding", "check", f.Check, "detail", f.Detail) //scalvet:ignore health findings are rare, and logging them is the point
 		case health.Repair:
-			obs.Log(ctx).Warn("health finding", "check", f.Check, "detail", f.Detail)
+			obs.Log(ctx).Warn("health finding", "check", f.Check, "detail", f.Detail) //scalvet:ignore health findings are rare, and logging them is the point
 		default:
-			obs.Log(ctx).Debug("health finding", "check", f.Check, "detail", f.Detail)
+			obs.Log(ctx).Debug("health finding", "check", f.Check, "detail", f.Detail) //scalvet:ignore health findings are rare, and logging them is the point
 		}
 	}
 }

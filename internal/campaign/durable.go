@@ -262,7 +262,11 @@ func (d *durable) record(ctx context.Context, ev event) error {
 // events and the retries of in-flight runs are dropped — resume regenerates
 // them by re-running those runs.
 func (d *durable) compactLocked() []event {
-	var out []event
+	n := 2 + len(d.terminal) // start + fit + one terminal event per run
+	for _, r := range d.retries {
+		n += len(r)
+	}
+	out := make([]event, 0, n)
 	if d.start != nil {
 		out = append(out, *d.start)
 	}

@@ -3,10 +3,9 @@ package runcache
 import (
 	"container/list"
 	"context"
-	"fmt"
 	"os"
 	"path/filepath"
-
+	"strconv"
 	"sync"
 
 	"scaltool/internal/machine"
@@ -172,7 +171,7 @@ func (c *Cache) lead(ctx context.Context, key Key, fl *flight, run RunFunc, mt *
 		spilled := c.writeSpill(ev.key, ev.res)
 		if mt != nil {
 			mt.Counter("scaltool_runcache_evictions_total", "run-cache LRU evictions",
-				"spilled", fmt.Sprintf("%t", spilled)).Inc()
+				"spilled", strconv.FormatBool(spilled)).Inc()
 		}
 	}
 

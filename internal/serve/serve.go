@@ -167,7 +167,7 @@ func (s *Server) countRequest(route string, code int, start time.Time) {
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //scalvet:ignore error responses run once per failed request, off the steady-state path
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"fmt"
+	"strconv"
 
 	"scaltool/internal/obs"
 )
@@ -24,14 +24,14 @@ func AppendTimeline(tr *obs.Tracer, res *Result, label string) {
 	}
 	pid := tr.NewProcess("sim " + label)
 	for p := 0; p < res.Procs; p++ {
-		tr.NameThread(pid, int64(p), fmt.Sprintf("cpu %d", p))
+		tr.NameThread(pid, int64(p), "cpu "+strconv.Itoa(p))
 	}
 	var cum float64 // region start, in cycles from the run's start
 	for _, reg := range res.Ground.Regions {
 		if len(reg.PerProc) == 0 {
 			continue // aggregated attribution carries no per-proc split
 		}
-		args := map[string]any{"region": reg.Name}
+		args := map[string]any{"region": reg.Name} //scalvet:ignore the tracer retains args per event; one map per region, shared by every lane, is the amortized shape
 
 		// The engine guarantees Busy+Sync+Imb == the region's elapsed cycles
 		// for every processor, but attribution that traveled through files,

@@ -31,7 +31,10 @@ go test -race ./internal/runcache/... ./internal/serve/...
 echo "==> serving e2e (scaltoold: bind, concurrent cached analyses, SIGTERM drain)"
 go test -run TestScaltooldServeE2E ./cmd/scaltoold/
 
-echo "==> scalvet"
-go run ./cmd/scalvet ./...
+echo "==> scalvet self-host (the analyzer and its driver hold themselves to zero findings)"
+go run ./cmd/scalvet ./internal/analysis/... ./cmd/scalvet
+
+echo "==> scalvet baseline gate (whole repo; any finding beyond scalvet.baseline.json fails)"
+go run ./cmd/scalvet -baseline check ./...
 
 echo "verify: all gates passed"
