@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"scaltool/internal/admission"
 	"scaltool/internal/obs"
 	"scaltool/internal/runcache"
 	"scaltool/internal/serve"
@@ -57,6 +58,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		simWorkers = fs.Int("sim-workers", 0, "concurrent simulated runs within one analysis (0 = GOMAXPROCS)")
 		cacheMB    = fs.Int("cache-mb", 256, "run-cache byte budget in MiB (0 disables caching)")
 		cacheDir   = fs.String("cache-dir", "", "spill evicted run-cache entries to this directory")
+		maxS0MB    = fs.Int("max-s0-mb", 0, "largest dataset a request may declare, in MiB (0 = 256)")
+		reqGCycles = fs.Float64("max-request-gcycles", 0, "predicted simulated cycles one request may cost, in billions (0 = 4000)")
+		reqMB      = fs.Int("max-request-mb", 0, "predicted allocation footprint one request may cost, in MiB (0 = 512)")
+		srvGCycles = fs.Float64("max-server-gcycles", 0, "aggregate predicted cycles admitted at once, in billions (0 = 16000)")
+		srvMB      = fs.Int("max-server-mb", 0, "aggregate predicted allocation admitted at once, in MiB (0 = 2048)")
+		hdrTimeout = fs.Duration("read-header-timeout", 5*time.Second, "how long a client may take to send request headers (slow-loris guard)")
+		rdTimeout  = fs.Duration("read-timeout", 30*time.Second, "how long a client may take to send a whole request (0 disables)")
 		grace      = fs.Duration("shutdown-grace", 30*time.Second, "how long a SIGTERM drain may take before the process force-exits")
 		logLevel   = fs.String("log-level", "info", "structured log level: debug | info | warn | error")
 		logJSON    = fs.Bool("log-json", false, "emit the structured log as JSON lines")
@@ -68,6 +76,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		workers: *workers, queueDepth: *queueDepth, reqTimeout: *reqTimeout,
 		maxProcs: *maxProcs, simWorkers: *simWorkers,
 		cacheMB: *cacheMB, cacheDir: *cacheDir,
+		budget: admission.Budget{
+			MaxS0Bytes:       uint64(*maxS0MB) << 20,
+			MaxRequestCycles: *reqGCycles * 1e9,
+			MaxRequestBytes:  int64(*reqMB) << 20,
+			MaxServerCycles:  *srvGCycles * 1e9,
+			MaxServerBytes:   int64(*srvMB) << 20,
+		},
+		readHeaderTimeout: *hdrTimeout, readTimeout: *rdTimeout,
 		logLevel: *logLevel, logJSON: *logJSON,
 	}, stdout, stderr); err != nil {
 		fmt.Fprintln(stderr, "scaltoold:", err)
@@ -77,13 +93,15 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 }
 
 type serveOptions struct {
-	workers, queueDepth  int
-	reqTimeout           time.Duration
-	maxProcs, simWorkers int
-	cacheMB              int
-	cacheDir             string
-	logLevel             string
-	logJSON              bool
+	workers, queueDepth            int
+	reqTimeout                     time.Duration
+	maxProcs, simWorkers           int
+	cacheMB                        int
+	cacheDir                       string
+	budget                         admission.Budget
+	readHeaderTimeout, readTimeout time.Duration
+	logLevel                       string
+	logJSON                        bool
 }
 
 func run(addr string, grace time.Duration, so serveOptions, stdout, stderr io.Writer) error {
@@ -114,6 +132,7 @@ func run(addr string, grace time.Duration, so serveOptions, stdout, stderr io.Wr
 		RequestTimeout: so.reqTimeout,
 		MaxProcs:       so.maxProcs,
 		SimWorkers:     so.simWorkers,
+		Budget:         so.budget,
 		Cache:          cache,
 		Obs:            o,
 	})
@@ -129,7 +148,14 @@ func run(addr string, grace time.Duration, so serveOptions, stdout, stderr io.Wr
 		testOnReady(ln.Addr().String())
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Transport hardening: a client gets bounded time to present headers
+	// (the slow-loris guard) and the whole request; body size is bounded by
+	// the handler (internal/serve maxBodyBytes).
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: so.readHeaderTimeout,
+		ReadTimeout:       so.readTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {

@@ -161,3 +161,68 @@ func TestScaltooldFailFast(t *testing.T) {
 		})
 	}
 }
+
+// TestScaltooldBudgetFlags checks the admission-budget and transport flags
+// reach the server: a dataset over -max-s0-mb draws a machine-readable 413,
+// an affordable request still serves, and the daemon drains cleanly.
+func TestScaltooldBudgetFlags(t *testing.T) {
+	ready := make(chan string, 1)
+	testOnReady = func(addr string) { ready <- addr }
+	defer func() { testOnReady = nil }()
+
+	var stdout, stderrBuf bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "2",
+			"-cache-mb", "0",
+			"-max-s0-mb", "1",
+			"-read-header-timeout", "2s",
+			"-log-level", "warn",
+		}, &stdout, &stderrBuf)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never became ready; stderr:\n%s", stderrBuf.String())
+	}
+	base := "http://" + addr
+
+	// 2 MiB dataset against a 1 MiB budget: refused before any work.
+	resp, err := http.Post(base+"/v1/analyze", "application/json",
+		strings.NewReader(`{"app":"swim","procs":4,"s0":2097152}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || !strings.Contains(string(body), `"s0_budget"`) {
+		t.Fatalf("over-budget request: %d %s, want 413 s0_budget", resp.StatusCode, body)
+	}
+
+	// An in-budget request still serves.
+	resp, err = http.Post(base+"/v1/analyze", "application/json",
+		strings.NewReader(`{"app":"swim","procs":4,"s0":524288}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget request: %d %s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM; stderr:\n%s", code, stderrBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

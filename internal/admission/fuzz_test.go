@@ -1,0 +1,94 @@
+package admission
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"scaltool/internal/campaign"
+	"scaltool/internal/machine"
+)
+
+// FuzzProgramAdmission drives the whole user-program admission surface —
+// JSON decode, shape validation, closed-form estimation, budget checks, and
+// (for small admitted programs) the actual build — with arbitrary bytes.
+//
+// Invariants, regardless of input:
+//   - nothing panics;
+//   - decisions are deterministic (same bytes, same verdict);
+//   - every rejection carries a documented status (413, 422) and a
+//     non-empty machine-readable code;
+//   - estimated costs are finite and non-negative;
+//   - an admitted spec builds into a program that passes sim validation.
+func FuzzProgramAdmission(f *testing.F) {
+	valid, _ := json.Marshal(testSpec())
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","arrays":[{"name":"a","elems":1024}],"regions":[{"name":"r","ops":[{"kind":"read","array":"a"}]}]}`))
+	f.Add([]byte(`{"name":"big","arrays":[{"name":"a","elems":2147483648}],"regions":[{"name":"r","ops":[{"kind":"gather","array":"a","gather_every":1}]}]}`))
+	f.Add([]byte(`{"name":"deep","arrays":[{"name":"a","elems":64}],"regions":[{"name":"r","serial":true,"ops":[{"kind":"critical","instr":17592186044416}]}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte("{\"name\":\"\u0000\",\"arrays\":null,\"regions\":[]}"))
+
+	cfg := machine.ScaledOrigin()
+	budget := DefaultBudget()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec ProgramSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // malformed documents are the HTTP layer's 400, not ours
+		}
+		rej := spec.Validate()
+		again := spec.Validate()
+		switch {
+		case (rej == nil) != (again == nil):
+			t.Fatalf("validation not deterministic")
+		case rej != nil && rej.Code != again.Code:
+			t.Fatalf("validation code flapped: %q vs %q", rej.Code, again.Code)
+		}
+		if rej != nil {
+			if rej.Status != http.StatusUnprocessableEntity {
+				t.Fatalf("shape rejection with status %d: %v", rej.Status, rej)
+			}
+			if rej.Code == "" || rej.Detail == "" {
+				t.Fatalf("rejection without code/detail: %+v", rej)
+			}
+			return
+		}
+
+		app := spec.App()
+		plan, err := campaign.NewPlan(app, cfg, 4, 0)
+		if err != nil {
+			return
+		}
+		cost, prej := budget.EstimatePlan(cfg, app, plan, 2)
+		if prej != nil {
+			if prej.Status != http.StatusRequestEntityTooLarge && prej.Status != http.StatusUnprocessableEntity {
+				t.Fatalf("estimate rejection with status %d: %v", prej.Status, prej)
+			}
+			if prej.Code == "" {
+				t.Fatalf("estimate rejection without code: %+v", prej)
+			}
+			return
+		}
+		if math.IsNaN(cost.Cycles) || math.IsInf(cost.Cycles, 0) || cost.Cycles < 0 ||
+			cost.AllocBytes < 0 || cost.TimelineBytes < 0 || cost.Runs <= 0 {
+			t.Fatalf("degenerate admitted cost: %+v", cost)
+		}
+		if budget.CheckRequest(cost) != nil {
+			return
+		}
+		// Admitted. Small programs are cheap enough to prove the build holds
+		// up; the budget bounds the big ones by construction.
+		if plan.S0 <= 4<<20 {
+			prog, err := app.Build(cfg, 2, plan.S0)
+			if err != nil {
+				return // below the grid at this size — the campaign's skip path
+			}
+			if verr := prog.Validate(); verr != nil {
+				t.Fatalf("admitted spec built an invalid program: %v", verr)
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -411,6 +412,16 @@ dispatch:
 		go func(j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Panic isolation: a panicking simulation (a hostile program shape
+			// hitting an internal assertion) must not kill the process — the
+			// serving daemon shares it with every other request. The panic
+			// becomes a typed critical error; the campaign aborts cleanly and
+			// the serving layer converts it to a 500 plus a quarantine entry.
+			defer func() {
+				if r := recover(); r != nil {
+					ex.critical(&PanicError{Run: j.id, Value: r, Stack: debug.Stack()})
+				}
+			}()
 			ex.run(ctx, j)
 		}(j)
 	}
@@ -797,6 +808,25 @@ func (rn *Runner) minCPI() float64 {
 	}
 	return m / 2
 }
+
+// PanicError is a panic recovered from a campaign worker, converted to an
+// error so one hostile or buggy run aborts its campaign instead of the
+// process. The serving layer matches it with errors.As to map the failure to
+// a 500 and quarantine the request shape that triggered it.
+type PanicError struct {
+	Run   string // run identity of the panicking job
+	Value any    // the recovered panic value
+	Stack []byte // stack at recovery, for the log
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("campaign: run %s panicked: %v", e.Run, e.Value)
+}
+
+// PanicValue exposes the recovered value and stack without importing this
+// package's type — callers (the serving layer's panic isolation) match on
+// the method set.
+func (e *PanicError) PanicValue() (any, []byte) { return e.Value, e.Stack }
 
 // retryable reports whether an attempt's failure is worth retrying:
 // injected transient faults and blown per-attempt deadlines are;

@@ -1,0 +1,321 @@
+// Package client is the Go client for scaltoold's analysis API, built for
+// the server's hostile-traffic contract (internal/serve): every refusal is a
+// typed status + machine-readable code, 429s carry a Retry-After derived
+// from the observed drain rate, and transient conditions are worth retrying
+// while semantic rejections never are.
+//
+// The client layers two protections over plain HTTP:
+//
+//   - Retries with capped exponential backoff and full jitter. Only
+//     transient failures retry — transport errors, 429 (overloaded or
+//     draining) and 503 (no worker freed up). A server-provided Retry-After
+//     always wins over the computed backoff when it is longer. Semantic
+//     refusals (400/413/422) and deterministic failures (500, 504) surface
+//     immediately: the simulator is deterministic, so repeating them buys
+//     nothing.
+//
+//   - A circuit breaker. Consecutive hard failures (transport errors and
+//     5xx) open the circuit; while open, calls fail fast with
+//     ErrCircuitOpen instead of piling onto a struggling server. After a
+//     cooldown one probe request is allowed through (half-open): success
+//     closes the circuit, failure re-opens it. 4xx refusals never trip the
+//     breaker — they mean the server is healthy and rejecting *this*
+//     document.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"scaltool/internal/serve"
+)
+
+// Options configures a Client. The zero value of every field selects a
+// sensible default.
+type Options struct {
+	// HTTP is the underlying transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds tries per call, first attempt included (0 = 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (0 = 10s).
+	MaxDelay time.Duration
+	// FailureThreshold is how many consecutive hard failures open the
+	// circuit (0 = 5).
+	FailureThreshold int
+	// Cooldown is how long an open circuit waits before the half-open
+	// probe (0 = 15s).
+	Cooldown time.Duration
+}
+
+// Client calls a scaltoold server. Create with New; safe for concurrent use.
+type Client struct {
+	base string
+	opts Options
+
+	breaker breaker
+
+	// Test seams: fake time and deterministic jitter.
+	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+	mu    sync.Mutex
+	rng   *rand.Rand
+}
+
+// New builds a Client for a server base URL like "http://host:8080".
+func New(baseURL string, opts Options) *Client {
+	if opts.HTTP == nil {
+		opts.HTTP = http.DefaultClient
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 100 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 10 * time.Second
+	}
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 5
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 15 * time.Second
+	}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		opts: opts,
+		now:  time.Now,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.breaker = breaker{threshold: opts.FailureThreshold, cooldown: opts.Cooldown}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server, carrying its
+// machine-readable code (the serve package's status contract).
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration // from the Retry-After header, 0 if absent
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("scaltoold: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Temporary reports whether the condition is worth retrying: the server is
+// overloaded or draining (429) or could not free a worker in time (503).
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// ErrCircuitOpen is returned while the circuit breaker is open: the server
+// has failed hard repeatedly and the client is in cooldown, failing fast.
+var ErrCircuitOpen = errors.New("client: circuit open: scaltoold failing, cooling down")
+
+// Analyze posts one analysis request, retrying transient refusals with
+// backoff + jitter and honoring the server's Retry-After hints.
+func (c *Client) Analyze(ctx context.Context, req *serve.Request) (*serve.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var last error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if err := c.breaker.allow(c.now()); err != nil {
+			return nil, err
+		}
+		resp, err := c.once(ctx, body)
+		if err == nil {
+			c.breaker.onSuccess()
+			return resp, nil
+		}
+		last = err
+		var apiErr *APIError
+		isAPI := errors.As(err, &apiErr)
+		// Hard failures — transport errors and 5xx — feed the breaker;
+		// 4xx means the server is healthy and judging the document.
+		if !isAPI || apiErr.Status >= 500 {
+			c.breaker.onFailure(c.now())
+		} else {
+			c.breaker.onSuccess()
+		}
+		if !retryable(err) || attempt+1 >= c.opts.MaxAttempts {
+			return nil, err
+		}
+		delay := c.backoff(attempt)
+		if isAPI && apiErr.RetryAfter > delay {
+			delay = apiErr.RetryAfter
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+	return nil, last
+}
+
+// Healthz reports whether the server is serving (it answers 503 while
+// draining). No retries: health checks are themselves the retry loop.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Code: "unhealthy", Message: "server not serving"}
+	}
+	return nil
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, body []byte) (*serve.Response, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.opts.HTTP.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: hresp.StatusCode, RetryAfter: parseRetryAfter(hresp.Header.Get("Retry-After"))}
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			apiErr.Code, apiErr.Message = e.Code, e.Error
+		} else {
+			apiErr.Code = "opaque"
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return nil, apiErr
+	}
+	var out serve.Response
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// retryable classifies an attempt error: transport failures and temporary
+// API refusals retry, everything else is final.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	// A transport-level failure (connection refused/reset, torn response):
+	// the request may never have been processed.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoff computes the attempt's sleep: full jitter over an exponentially
+// growing window, capped at MaxDelay.
+func (c *Client) backoff(attempt int) time.Duration {
+	window := c.opts.BaseDelay << uint(attempt)
+	if window > c.opts.MaxDelay || window <= 0 {
+		window = c.opts.MaxDelay
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(window) + 1))
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only form
+// scaltoold emits).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// breaker is a consecutive-failure circuit breaker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	failures int
+	open     bool
+	openedAt time.Time
+	probing  bool
+}
+
+// allow admits a call, fails fast while open, and admits exactly one probe
+// per cooldown window once it has elapsed.
+func (b *breaker) allow(now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return nil
+	}
+	if now.Sub(b.openedAt) < b.cooldown || b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true // half-open: this caller is the probe
+	return nil
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.open = false
+	b.probing = false
+}
+
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		// The half-open probe failed: re-open for a fresh cooldown.
+		b.probing = false
+		b.openedAt = now
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold && !b.open {
+		b.open = true
+		b.openedAt = now
+	}
+}

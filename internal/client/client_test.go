@@ -1,0 +1,287 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scaltool/internal/serve"
+)
+
+// scripted builds a test server answering each /v1/analyze call from a fixed
+// sequence of (status, headers, body) steps, repeating the last forever.
+type step struct {
+	status     int
+	retryAfter string
+	body       string
+}
+
+func scripted(t *testing.T, steps ...step) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(calls.Add(1)) - 1
+		if i >= len(steps) {
+			i = len(steps) - 1
+		}
+		st := steps[i]
+		if st.retryAfter != "" {
+			w.Header().Set("Retry-After", st.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(st.status)
+		fmt.Fprint(w, st.body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// fastClient is a client with a recorded (not slept) backoff.
+func fastClient(ts *httptest.Server, opts Options) (*Client, *[]time.Duration) {
+	c := New(ts.URL, opts)
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	return c, &slept
+}
+
+const okBody = `{"app":"swim","machine":"scaled","procs":4,"s0":1,"model":{},"speedups":[{"procs":4,"wall_cycles":1,"speedup":2}],"breakdown":[]}`
+
+func analyzeReq() *serve.Request { return &serve.Request{App: "swim", Procs: 4} }
+
+// TestRetriesTransientThenSucceeds: 429 then 503 then 200 — two retries,
+// then the decoded response.
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	ts, calls := scripted(t,
+		step{status: 429, body: `{"error":"overloaded","code":"overloaded"}`},
+		step{status: 503, body: `{"error":"no worker","code":"no_worker"}`},
+		step{status: 200, body: okBody},
+	)
+	c, slept := fastClient(ts, Options{})
+	resp, err := c.Analyze(context.Background(), analyzeReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.App != "swim" || len(resp.Speedups) != 1 {
+		t.Fatalf("decoded response wrong: %+v", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
+// TestHonorsRetryAfter: the server's hint outranks the computed backoff.
+func TestHonorsRetryAfter(t *testing.T) {
+	ts, _ := scripted(t,
+		step{status: 429, retryAfter: "7", body: `{"error":"overloaded","code":"overloaded"}`},
+		step{status: 200, body: okBody},
+	)
+	// Backoff window well under the hint, so the hint must win.
+	c, slept := fastClient(ts, Options{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	if _, err := c.Analyze(context.Background(), analyzeReq()); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 7*time.Second {
+		t.Fatalf("slept %v, want exactly the 7s Retry-After", *slept)
+	}
+}
+
+// TestSemanticRejectionIsFinal: a 422 surfaces immediately as a typed
+// APIError — no retries, no breaker damage.
+func TestSemanticRejectionIsFinal(t *testing.T) {
+	ts, calls := scripted(t,
+		step{status: 422, body: `{"error":"unknown app \"nope\"","code":"unknown_app"}`},
+	)
+	c, slept := fastClient(ts, Options{})
+	_, err := c.Analyze(context.Background(), analyzeReq())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error not an *APIError: %v", err)
+	}
+	if apiErr.Status != 422 || apiErr.Code != "unknown_app" || apiErr.Temporary() {
+		t.Fatalf("wrong APIError: %+v", apiErr)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("semantic rejection retried: calls=%d sleeps=%d", calls.Load(), len(*slept))
+	}
+	if err := c.breaker.allow(c.now()); err != nil {
+		t.Fatalf("422 tripped the breaker: %v", err)
+	}
+}
+
+// TestRetriesExhausted: persistent 429s return the last typed error after
+// MaxAttempts tries.
+func TestRetriesExhausted(t *testing.T) {
+	ts, calls := scripted(t, step{status: 429, body: `{"error":"overloaded","code":"overloaded"}`})
+	c, _ := fastClient(ts, Options{MaxAttempts: 3})
+	_, err := c.Analyze(context.Background(), analyzeReq())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 {
+		t.Fatalf("want final 429, got %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestBackoffJitterBounds: each recorded delay stays within the exponential
+// window for its attempt and never exceeds MaxDelay.
+func TestBackoffJitterBounds(t *testing.T) {
+	ts, _ := scripted(t, step{status: 429, body: `{"error":"x","code":"overloaded"}`})
+	base, cap := 100*time.Millisecond, 350*time.Millisecond
+	c, slept := fastClient(ts, Options{MaxAttempts: 6, BaseDelay: base, MaxDelay: cap})
+	_, _ = c.Analyze(context.Background(), analyzeReq())
+	if len(*slept) != 5 {
+		t.Fatalf("slept %d times, want 5", len(*slept))
+	}
+	for i, d := range *slept {
+		window := base << uint(i)
+		if window > cap {
+			window = cap
+		}
+		if d < 0 || d > window {
+			t.Fatalf("attempt %d slept %v, outside [0, %v]", i, d, window)
+		}
+	}
+}
+
+// TestCircuitBreaker: consecutive hard failures open the circuit (fail-fast,
+// no HTTP traffic), the cooldown admits exactly one probe, and a probe
+// success closes it again.
+func TestCircuitBreaker(t *testing.T) {
+	ts, calls := scripted(t,
+		step{status: 500, body: `{"error":"boom","code":"failed"}`},
+		step{status: 500, body: `{"error":"boom","code":"failed"}`},
+		step{status: 500, body: `{"error":"boom","code":"failed"}`},
+		step{status: 200, body: okBody},
+	)
+	c, _ := fastClient(ts, Options{MaxAttempts: 1, FailureThreshold: 3, Cooldown: 10 * time.Second})
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+
+	// Three hard failures → open. (500 is not retryable, so each call is
+	// one attempt.)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Analyze(context.Background(), analyzeReq()); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	before := calls.Load()
+	if _, err := c.Analyze(context.Background(), analyzeReq()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit let a call through: %v", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("fail-fast call still reached the server")
+	}
+
+	// Cooldown elapses: exactly one probe goes through and closes the
+	// circuit on success.
+	clock = clock.Add(11 * time.Second)
+	if _, err := c.Analyze(context.Background(), analyzeReq()); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if _, err := c.Analyze(context.Background(), analyzeReq()); err != nil {
+		t.Fatalf("closed circuit refused a call: %v", err)
+	}
+}
+
+// TestProbeFailureReopens: a failing half-open probe re-opens the circuit
+// for a fresh cooldown.
+func TestProbeFailureReopens(t *testing.T) {
+	ts, _ := scripted(t, step{status: 500, body: `{"error":"boom","code":"failed"}`})
+	c, _ := fastClient(ts, Options{MaxAttempts: 1, FailureThreshold: 2, Cooldown: 10 * time.Second})
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+
+	for i := 0; i < 2; i++ {
+		_, _ = c.Analyze(context.Background(), analyzeReq())
+	}
+	clock = clock.Add(11 * time.Second)
+	if _, err := c.Analyze(context.Background(), analyzeReq()); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("probe was not admitted after cooldown")
+	}
+	// Probe failed → open again, immediately and after half the cooldown.
+	if _, err := c.Analyze(context.Background(), analyzeReq()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("circuit not re-opened after failed probe: %v", err)
+	}
+	clock = clock.Add(5 * time.Second)
+	if _, err := c.Analyze(context.Background(), analyzeReq()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("circuit opened by failed probe did not hold its cooldown: %v", err)
+	}
+}
+
+// TestTransportErrorRetries: connection-refused retries, then surfaces the
+// transport error once attempts are exhausted.
+func TestTransportErrorRetries(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // nothing listens: every dial fails
+	c := New(ts.URL, Options{MaxAttempts: 2})
+	var sleeps int
+	c.sleep = func(ctx context.Context, d time.Duration) error { sleeps++; return nil }
+	_, err := c.Analyze(context.Background(), analyzeReq())
+	if err == nil {
+		t.Fatal("dial to a closed listener succeeded")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("transport error surfaced as APIError: %v", err)
+	}
+	if sleeps != 1 {
+		t.Fatalf("slept %d times, want 1", sleeps)
+	}
+}
+
+// TestEndToEndAgainstServe closes the loop against the real server: a
+// client pointed at a draining scaltoold retries past the 429 and succeeds
+// once the drain flag clears (simulated by a restartable handler), and its
+// typed errors match the serve contract.
+func TestEndToEndAgainstServe(t *testing.T) {
+	srv := serve.New(serve.Options{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, Options{})
+
+	resp, err := c.Analyze(context.Background(), &serve.Request{App: "swim", Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.App != "swim" || len(resp.Speedups) == 0 {
+		t.Fatalf("bad response: %+v", resp)
+	}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz on a serving server: %v", err)
+	}
+
+	_, err = c.Analyze(context.Background(), &serve.Request{App: "not-an-app"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 422 || apiErr.Code != "unknown_app" {
+		t.Fatalf("want 422 unknown_app, got %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("healthz on a draining server succeeded")
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	_, err = c.Analyze(context.Background(), &serve.Request{App: "swim", Procs: 4})
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 || apiErr.Code != "draining" {
+		t.Fatalf("want 429 draining from a draining server, got %v", err)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatalf("draining 429 carried no Retry-After: %+v", apiErr)
+	}
+}

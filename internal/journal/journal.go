@@ -124,6 +124,12 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Checksum is the CRC-32C (Castagnoli) checksum the journal frames its
+// records with, exported so the repo's other durability layers (the run
+// cache's disk spill) share one integrity primitive instead of growing a
+// second, subtly different one.
+func Checksum(p []byte) uint32 { return crc32.Update(0, castagnoli, p) }
+
 // Record is one replayed journal record.
 type Record struct {
 	Seq  uint64
@@ -461,7 +467,7 @@ func frameRecord(seq uint64, data []byte) []byte {
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(data)))
 	binary.LittleEndian.PutUint64(buf[8:16], seq)
 	copy(buf[headerBytes:], data)
-	crc := crc32.Update(0, castagnoli, buf[8:])
+	crc := Checksum(buf[8:])
 	binary.LittleEndian.PutUint32(buf[4:8], crc)
 	return buf
 }
@@ -479,7 +485,7 @@ func parseRecord(buf []byte) (rec Record, frameLen int, ok bool) {
 	}
 	frameLen = headerBytes + int(n)
 	crc := binary.LittleEndian.Uint32(buf[4:8])
-	if crc32.Update(0, castagnoli, buf[8:frameLen]) != crc {
+	if Checksum(buf[8:frameLen]) != crc {
 		return rec, 0, false
 	}
 	rec.Seq = binary.LittleEndian.Uint64(buf[8:16])

@@ -3,11 +3,12 @@ package runcache
 import (
 	"container/list"
 	"context"
-	"os"
+	"fmt"
 	"path/filepath"
 	"strconv"
 	"sync"
 
+	"scaltool/internal/faultinject"
 	"scaltool/internal/machine"
 	"scaltool/internal/obs"
 	"scaltool/internal/sim"
@@ -26,8 +27,15 @@ type Options struct {
 	// SpillDir, when non-empty, enables disk spill: entries evicted from
 	// memory are written there (one file per key) and reloaded on the next
 	// miss instead of re-simulating. The directory is created on first use;
-	// campaigns typically point it under the journal directory.
+	// campaigns typically point it under the journal directory. Every spill
+	// file carries a CRC-32C frame (see spill.go); entries that fail the
+	// check on load are quarantined under SpillDir/quarantine and treated as
+	// misses.
 	SpillDir string
+	// Inject, when non-nil, mangles spill frames on their way to disk
+	// (truncation, byte corruption) — the deterministic torn-write chaos
+	// hook. Production caches leave it nil.
+	Inject *faultinject.Injector
 }
 
 // DefaultMaxBytes is the in-memory budget when Options.MaxBytes is unset.
@@ -39,6 +47,7 @@ const DefaultMaxBytes = 256 << 20
 type Cache struct {
 	maxBytes int64
 	spillDir string
+	inject   *faultinject.Injector
 
 	mu       sync.Mutex
 	ll       *list.List // front = most recent
@@ -69,6 +78,7 @@ func New(opts Options) *Cache {
 	return &Cache{
 		maxBytes: opts.MaxBytes,
 		spillDir: opts.SpillDir,
+		inject:   opts.Inject,
 		ll:       list.New(),
 		items:    map[Key]*list.Element{},
 		inflight: map[Key]*flight{},
@@ -150,7 +160,25 @@ func (c *Cache) GetOrRun(ctx context.Context, cfg machine.Config, prog *sim.Prog
 // lead executes the miss path as the key's singleflight leader: disk tier,
 // then a real simulation, then publication to waiters and the LRU.
 func (c *Cache) lead(ctx context.Context, key Key, fl *flight, run RunFunc, mt *obs.Metrics) (*sim.Result, bool, error) {
-	out, diskHit := c.loadSpill(key)
+	// A panicking leader must still publish to its waiters: without this,
+	// every request joined on the flight would block forever on fl.done and
+	// the key would stay "in flight" until process restart. The panic itself
+	// propagates to the caller (the campaign's worker recovery isolates it).
+	published := false
+	defer func() {
+		if r := recover(); r != nil {
+			if !published {
+				c.mu.Lock()
+				delete(c.inflight, key)
+				c.mu.Unlock()
+				fl.err = fmt.Errorf("runcache: singleflight leader panicked: %v", r)
+				close(fl.done)
+			}
+			panic(r)
+		}
+	}()
+
+	out, diskHit := c.loadSpill(key, mt)
 	var err error
 	if out == nil {
 		out, err = run(ctx)
@@ -165,6 +193,7 @@ func (c *Cache) lead(ctx context.Context, key Key, fl *flight, run RunFunc, mt *
 	}
 	c.mu.Unlock()
 	close(fl.done)
+	published = true
 
 	// Spill evictions outside the lock: disk I/O must not stall readers.
 	for _, ev := range evicted {
@@ -225,54 +254,3 @@ func (c *Cache) spillPath(key Key) string {
 	return filepath.Join(c.spillDir, key.String()+".json")
 }
 
-// writeSpill persists an evicted entry; failures only lose the spill copy.
-// The write goes through a temp file + rename so a torn write never leaves a
-// half-entry that a later load would misread.
-func (c *Cache) writeSpill(key Key, res *sim.Result) bool {
-	path := c.spillPath(key)
-	if path == "" {
-		return false
-	}
-	if err := os.MkdirAll(c.spillDir, 0o755); err != nil {
-		return false
-	}
-	tmp, err := os.CreateTemp(c.spillDir, "spill-*.tmp")
-	if err != nil {
-		return false
-	}
-	if err := sim.EncodeResult(tmp, res); err != nil {
-		_ = tmp.Close()
-		_ = os.Remove(tmp.Name())
-		return false
-	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmp.Name())
-		return false
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		_ = os.Remove(tmp.Name())
-		return false
-	}
-	return true
-}
-
-// loadSpill reads a spilled entry back, or nil. A corrupt spill file is
-// deleted and treated as a miss — the run is deterministic, so it is simply
-// regenerated.
-func (c *Cache) loadSpill(key Key) (*sim.Result, bool) {
-	path := c.spillPath(key)
-	if path == "" {
-		return nil, false
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, false
-	}
-	defer f.Close()
-	res, err := sim.DecodeResult(f)
-	if err != nil {
-		_ = os.Remove(path)
-		return nil, false
-	}
-	return res, true
-}

@@ -1,0 +1,153 @@
+package runcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scaltool/internal/journal"
+	"scaltool/internal/obs"
+	"scaltool/internal/sim"
+)
+
+// Spill integrity. A spilled entry is written through a temp file + rename,
+// which protects against a torn write of the *final* name — but says nothing
+// about bit rot, a filesystem that lied about durability, or an operator
+// truncating files. A corrupt spill entry must never be decoded into a
+// half-real Result and served as if it were a simulation: the simulator is
+// deterministic, so the safe conversion for any damage is a cache miss and a
+// re-simulation.
+//
+// Every spill file is therefore framed, reusing the journal's CRC-32C
+// (Castagnoli) machinery:
+//
+//	[8-byte magic "SCSPILL1"][8-byte LE payload length][4-byte LE CRC-32C][payload]
+//
+// On load the frame is verified before the payload is decoded. Damage is
+// classified (header, torn, crc, decode), counted in
+// scaltool_runcache_corrupt_total, and the file is moved into a quarantine
+// subdirectory for forensics rather than silently deleted.
+
+// spillMagic identifies (and versions) the spill frame format.
+var spillMagic = [8]byte{'S', 'C', 'S', 'P', 'I', 'L', 'L', '1'}
+
+const spillHeaderBytes = 8 + 8 + 4
+
+// quarantineDirName is the subdirectory of SpillDir that holds entries that
+// failed their integrity check.
+const quarantineDirName = "quarantine"
+
+// encodeSpillFrame frames an encoded Result for disk.
+func encodeSpillFrame(res *sim.Result) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := sim.EncodeResult(&payload, res); err != nil {
+		return nil, err
+	}
+	out := make([]byte, spillHeaderBytes+payload.Len())
+	copy(out[:8], spillMagic[:])
+	binary.LittleEndian.PutUint64(out[8:16], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(out[16:20], journal.Checksum(payload.Bytes()))
+	copy(out[spillHeaderBytes:], payload.Bytes())
+	return out, nil
+}
+
+// decodeSpillFrame verifies a frame and decodes its payload. On failure it
+// reports the damage class ("header", "torn", "crc", "decode") alongside the
+// error.
+func decodeSpillFrame(data []byte) (*sim.Result, string, error) {
+	if len(data) < spillHeaderBytes || !bytes.Equal(data[:8], spillMagic[:]) {
+		return nil, "header", fmt.Errorf("runcache: spill frame header invalid (%d bytes)", len(data))
+	}
+	plen := binary.LittleEndian.Uint64(data[8:16])
+	body := data[spillHeaderBytes:]
+	if uint64(len(body)) != plen {
+		return nil, "torn", fmt.Errorf("runcache: spill frame declares %d payload bytes, has %d", plen, len(body))
+	}
+	if got, want := journal.Checksum(body), binary.LittleEndian.Uint32(data[16:20]); got != want {
+		return nil, "crc", fmt.Errorf("runcache: spill frame CRC %08x, want %08x", got, want)
+	}
+	res, err := sim.DecodeResult(bytes.NewReader(body))
+	if err != nil {
+		return nil, "decode", err
+	}
+	return res, "", nil
+}
+
+// quarantineSpill moves a damaged spill file aside (falling back to deletion
+// if the move fails) so it is never re-read as a cache entry but remains
+// available for forensics.
+func (c *Cache) quarantineSpill(path string) {
+	qdir := filepath.Join(c.spillDir, quarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			return
+		}
+	}
+	_ = os.Remove(path)
+}
+
+// writeSpill persists an evicted entry; failures only lose the spill copy.
+// The write goes through a temp file + rename so a torn write never leaves a
+// half-entry under the final name, and the frame's CRC catches everything
+// rename cannot. The injector hook (Options.Inject) mangles the framed bytes
+// before they reach disk — the chaos tests' torn-write and bit-rot point.
+func (c *Cache) writeSpill(key Key, res *sim.Result) bool {
+	path := c.spillPath(key)
+	if path == "" {
+		return false
+	}
+	framed, err := encodeSpillFrame(res)
+	if err != nil {
+		return false
+	}
+	if c.inject != nil {
+		framed, _ = c.inject.MangleFile(filepath.Base(path), framed)
+	}
+	if err := os.MkdirAll(c.spillDir, 0o755); err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(c.spillDir, "spill-*.tmp")
+	if err != nil {
+		return false
+	}
+	if _, err := tmp.Write(framed); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return false
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}
+
+// loadSpill reads a spilled entry back, or nil. An entry that fails its
+// integrity check — torn frame, checksum mismatch, undecodable payload — is
+// quarantined, counted, and treated as a miss: the run is deterministic, so
+// it is simply regenerated.
+func (c *Cache) loadSpill(key Key, mt *obs.Metrics) (*sim.Result, bool) {
+	path := c.spillPath(key)
+	if path == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	res, damage, err := decodeSpillFrame(data)
+	if err != nil {
+		c.quarantineSpill(path)
+		if mt != nil {
+			mt.RuncacheCorrupt(damage).Inc()
+		}
+		return nil, false
+	}
+	return res, true
+}

@@ -4,8 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
+	"net/http"
 
+	"scaltool/internal/admission"
 	"scaltool/internal/apps"
 	"scaltool/internal/campaign"
 	"scaltool/internal/machine"
@@ -14,8 +15,12 @@ import (
 
 // Request is the /v1/analyze request document.
 type Request struct {
-	// App names the application (see 'scaltool apps').
-	App string `json:"app"`
+	// App names a built-in application (see 'scaltool apps'). Exactly one
+	// of App and Program must be set.
+	App string `json:"app,omitempty"`
+	// Program submits a user-defined program spec in place of a built-in
+	// application; it runs through the same campaign and model pipeline.
+	Program *admission.ProgramSpec `json:"program,omitempty"`
 	// Procs is the largest processor count to analyze — a power of two;
 	// 0 selects 32, the paper's machine size.
 	Procs int `json:"procs,omitempty"`
@@ -27,31 +32,92 @@ type Request struct {
 	RawTm bool `json:"raw_tm,omitempty"`
 }
 
-// validate rejects a request before it takes an admission slot.
-func (s *Server) validate(req *Request) error {
-	if req.App == "" {
-		return fmt.Errorf("missing \"app\"")
+// Ident names the request's workload for logs.
+func (r *Request) Ident() string {
+	if r.Program != nil {
+		return "user:" + r.Program.Name
 	}
-	if _, err := apps.ByName(req.App); err != nil {
-		return fmt.Errorf("unknown app %q (known: %v)", req.App, apps.Names())
+	return r.App
+}
+
+// resolved is a validated request, ready to estimate and execute.
+type resolved struct {
+	cfg  machine.Config
+	app  apps.App
+	plan campaign.Plan
+}
+
+// invalid builds a 422 rejection for a semantically broken document.
+func invalid(code, format string, args ...any) *admission.Rejection {
+	return admission.Reject(http.StatusUnprocessableEntity, code, format, args...)
+}
+
+// validate resolves a request before it takes an admission slot: defaults
+// applied, workload resolved, plan built, shape caps checked. Every failure
+// is a typed rejection — 422 for semantic problems, 413 for documents whose
+// dataset is over this server's size budget.
+func (s *Server) validate(req *Request) (*resolved, *admission.Rejection) {
+	switch {
+	case req.App == "" && req.Program == nil:
+		return nil, invalid("missing_app", "set \"app\" or \"program\"")
+	case req.App != "" && req.Program != nil:
+		return nil, invalid("ambiguous_app", "\"app\" and \"program\" are mutually exclusive")
+	}
+	var app apps.App
+	if req.Program != nil {
+		if rej := req.Program.Validate(); rej != nil {
+			return nil, rej
+		}
+		app = req.Program.App()
+	} else {
+		var err error
+		if app, err = apps.ByName(req.App); err != nil {
+			return nil, invalid("unknown_app", "unknown app %q (known: %v)", req.App, apps.Names())
+		}
 	}
 	if req.Procs == 0 {
 		req.Procs = 32
 	}
 	if req.Procs < 1 || req.Procs&(req.Procs-1) != 0 {
-		return fmt.Errorf("\"procs\" must be a power of two ≥ 1, got %d", req.Procs)
-	}
-	if req.Procs > s.opts.MaxProcs {
-		return fmt.Errorf("\"procs\" %d exceeds this server's limit of %d", req.Procs, s.opts.MaxProcs)
+		return nil, invalid("bad_procs", "\"procs\" must be a power of two ≥ 1, got %d", req.Procs)
 	}
 	switch req.Machine {
 	case "":
 		req.Machine = "scaled"
 	case "scaled", "origin":
 	default:
-		return fmt.Errorf("unknown machine %q (want scaled or origin)", req.Machine)
+		return nil, invalid("bad_machine", "unknown machine %q (want scaled or origin)", req.Machine)
 	}
-	return nil
+	cfg := configFor(req.Machine)
+
+	budget := s.Budget()
+	if rej := budget.CheckShape(req.Procs, req.S0); rej != nil {
+		return nil, rej
+	}
+	plan, err := campaign.NewPlan(app, cfg, req.Procs, req.S0)
+	if err != nil {
+		return nil, invalid("bad_plan", "%v", err)
+	}
+	// The resolved default size is subject to the same cap as an explicit
+	// one (a user program can declare an enormous default).
+	if rej := budget.CheckShape(req.Procs, plan.S0); rej != nil {
+		return nil, rej
+	}
+	return &resolved{cfg: cfg, app: app, plan: plan}, nil
+}
+
+// estimate prices the resolved request and gates it against the per-request
+// budget (the ledger gates the per-server one at admission).
+func (s *Server) estimate(rv *resolved) (admission.Cost, *admission.Rejection) {
+	budget := s.Budget()
+	cost, rej := budget.EstimatePlan(rv.cfg, rv.app, rv.plan, s.opts.SimWorkers)
+	if rej != nil {
+		return admission.Cost{}, rej
+	}
+	if rej := budget.CheckRequest(cost); rej != nil {
+		return admission.Cost{}, rej
+	}
+	return cost, nil
 }
 
 // configFor maps the request's machine name to its configuration.
@@ -112,38 +178,29 @@ type BreakdownRow struct {
 	Interpolated bool    `json:"interpolated,omitempty"`
 }
 
-// analyze runs the full pipeline for one request: plan → campaign (through
-// the shared run cache) → fit → response.
-func (s *Server) analyze(ctx context.Context, req *Request) (*Response, error) {
-	cfg := configFor(req.Machine)
-	app, err := apps.ByName(req.App)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := campaign.NewPlan(app, cfg, req.Procs, req.S0)
-	if err != nil {
-		return nil, err
-	}
+// analyze runs the full pipeline for one resolved request: campaign
+// (through the shared run cache) → fit → response.
+func (s *Server) analyze(ctx context.Context, req *Request, rv *resolved) (*Response, error) {
 	rn := &campaign.Runner{
-		Cfg:     cfg,
+		Cfg:     rv.cfg,
 		Workers: s.opts.SimWorkers,
 		Cache:   s.opts.Cache,
 	}
-	res, err := rn.Execute(ctx, app, plan)
+	res, err := rn.Execute(ctx, rv.app, rv.plan)
 	if err != nil {
 		return nil, err
 	}
-	opts := model.DefaultOptions(cfg.L2.SizeBytes)
+	opts := model.DefaultOptions(rv.cfg.L2.SizeBytes)
 	opts.RawTmN = req.RawTm
 	m, err := res.FitContext(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
 	resp := &Response{
-		App:     req.App,
+		App:     req.Ident(),
 		Machine: req.Machine,
 		Procs:   req.Procs,
-		S0:      plan.S0,
+		S0:      rv.plan.S0,
 		Model: ModelParams{
 			CPI0:       m.CPI0,
 			T2:         m.T2,

@@ -4,36 +4,50 @@
 // The simulator is deterministic, so every (machine, program) pair is a pure
 // function — which makes analyses cacheable and the service horizontally
 // boring: POST /v1/analyze runs the Table 3 campaign for the requested
-// application through internal/runcache (repeated or concurrent identical
-// requests share one set of simulations), fits the model, and returns the
-// speedup curve and cycle breakdown as JSON. Identical requests produce
-// byte-identical response bodies whether they were simulated or served from
-// cache.
+// application (or a user-submitted program spec) through internal/runcache,
+// fits the model, and returns the speedup curve and cycle breakdown as JSON.
+// Identical requests produce byte-identical response bodies whether they
+// were simulated or served from cache.
 //
-// Overload policy, in order:
+// The service assumes hostile clients (DESIGN.md §13). Its status-code
+// contract, in the order a request meets each gate:
 //
-//  1. Admission: at most Workers analyses execute concurrently; at most
-//     QueueDepth more may wait for a worker. A request beyond that is shed
-//     immediately with 429 and a Retry-After hint — queueing it would only
-//     convert overload into latency.
-//  2. Deadline: every admitted request runs under RequestTimeout; a request
-//     that cannot finish in time returns 503 (waiting) or 504 (running).
-//  3. Drain: Drain flips /v1/healthz to 503 and sheds new analyses with 503
-//     while in-flight ones finish — the SIGTERM half of scaltoold's
-//     graceful shutdown (the other half is http.Server.Shutdown).
+//	405 — method other than POST.
+//	429 — the server is draining, the admission queue is full, or the
+//	      cost ledger is at its budget; Retry-After is derived from the
+//	      observed drain rate.
+//	400 — the document is not well-formed JSON for the request schema.
+//	413 — the document, its dataset, or its predicted cost is over this
+//	      server's per-request budget (internal/admission).
+//	422 — the document is well-formed but semantically invalid: unknown
+//	      app, bad processor count, an over-cap program spec — or a shape
+//	      that previously panicked the pipeline and is quarantined.
+//	503 — admitted, but no worker freed up within the request deadline.
+//	504 — executing, but the analysis exceeded the request deadline.
+//	500 — the analysis failed or panicked; a panic is isolated to the
+//	      request, counted, and its request shape quarantined.
+//
+// Every error response is machine-readable: {"error": ..., "code": ...}.
 package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"scaltool/internal/admission"
+	"scaltool/internal/health"
 	"scaltool/internal/obs"
 	"scaltool/internal/runcache"
 )
@@ -52,13 +66,17 @@ type Options struct {
 	QueueDepth int
 	// RequestTimeout is the per-request deadline (0 = DefaultRequestTimeout).
 	RequestTimeout time.Duration
-	// MaxProcs caps the processor count a request may analyze (0 = 64): the
-	// plan's cost grows as 2^n, so an unbounded request is a DoS.
+	// MaxProcs caps the processor count a request may analyze (0 = the
+	// admission default): the plan's cost grows as 2^n, so an unbounded
+	// request is a DoS. Overrides Budget.MaxProcs when set.
 	MaxProcs int
 	// SimWorkers bounds the concurrent simulated runs inside one analysis
 	// (0 = GOMAXPROCS). With several analysis workers a smaller value keeps
 	// one big campaign from starving the rest.
 	SimWorkers int
+	// Budget bounds what a request, and the server in aggregate, may cost
+	// (zero fields take the admission defaults).
+	Budget admission.Budget
 	// Cache is the shared run cache; nil disables caching (every request
 	// simulates from scratch).
 	Cache *runcache.Cache
@@ -67,14 +85,20 @@ type Options struct {
 	Obs *obs.Observer
 }
 
+// quarantineCapacity bounds the remembered panicking request shapes.
+const quarantineCapacity = 256
+
 // Server serves the analysis API. Create with New.
 type Server struct {
 	opts Options
 
-	workers  chan struct{} // executing-analysis slots
-	admitted chan struct{} // admission slots: Workers + QueueDepth
-	draining atomic.Bool
-	inflight sync.WaitGroup
+	workers    chan struct{} // executing-analysis slots
+	admitted   chan struct{} // admission slots: Workers + QueueDepth
+	ledger     *admission.Ledger
+	quarantine *health.QuarantineSet
+	drain      drainEstimator
+	draining   atomic.Bool
+	inflight   sync.WaitGroup
 
 	mux *http.ServeMux
 
@@ -94,13 +118,15 @@ func New(opts Options) *Server {
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = DefaultRequestTimeout
 	}
-	if opts.MaxProcs <= 0 {
-		opts.MaxProcs = 64
+	if opts.MaxProcs > 0 {
+		opts.Budget.MaxProcs = opts.MaxProcs
 	}
 	s := &Server{
-		opts:     opts,
-		workers:  make(chan struct{}, opts.Workers),
-		admitted: make(chan struct{}, opts.Workers+opts.QueueDepth),
+		opts:       opts,
+		workers:    make(chan struct{}, opts.Workers),
+		admitted:   make(chan struct{}, opts.Workers+opts.QueueDepth),
+		ledger:     admission.NewLedger(opts.Budget),
+		quarantine: health.NewQuarantineSet(quarantineCapacity),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
@@ -112,10 +138,14 @@ func New(opts Options) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Budget returns the server's effective admission budget.
+func (s *Server) Budget() admission.Budget { return s.ledger.Budget() }
+
 // Drain puts the server into shutdown: /v1/healthz reports 503 (so a load
-// balancer stops routing here), new analyses are refused with 503, and Drain
-// blocks until every in-flight analysis finishes or ctx expires. It is safe
-// to call more than once.
+// balancer stops routing here), new analyses are refused with 429 (the
+// condition is retryable — against a peer, or here after a restart), and
+// Drain blocks until every in-flight analysis finishes or ctx expires. It is
+// safe to call more than once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	if mt := s.meter(); mt != nil {
@@ -163,11 +193,26 @@ func (s *Server) countRequest(route string, code int, start time.Time) {
 	}
 }
 
+// countRejection records a 4xx admission refusal in the rejected-by-status
+// family.
+func (s *Server) countRejection(code int) {
+	if mt := s.meter(); mt != nil {
+		mt.ServeRejected(strconv.Itoa(code)).Inc()
+	}
+}
+
+// apiError is the uniform JSON error body. Code is a stable machine-readable
+// cause; Error is for humans.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
 // writeError emits the service's uniform JSON error shape.
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //scalvet:ignore error responses run once per failed request, off the steady-state path
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...), Code: code}) //scalvet:ignore error responses run once per failed request, off the steady-state path
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -195,38 +240,70 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// maxBodyBytes bounds a request document; a plan request is a few hundred
-// bytes, so anything near a megabyte is garbage.
+// maxBodyBytes bounds a request document. A plan request is a few hundred
+// bytes and a full program spec a few tens of kilobytes; anything near a
+// megabyte is garbage.
 const maxBodyBytes = 1 << 20
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	code, err := s.serveAnalyze(w, r, start)
+	code, ecode, err := s.serveAnalyze(w, r, start)
 	if err != nil {
-		writeError(w, code, "%s", err)
+		writeError(w, code, ecode, "%s", err)
 	}
 	s.countRequest("/v1/analyze", code, start)
 }
 
-// serveAnalyze handles one analysis request; it reports the response code
-// and, for non-2xx, the error to send (nil when the response was written).
-func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time.Time) (int, error) {
+// serveAnalyze handles one analysis request; it reports the response status
+// and, for non-2xx, the machine-readable code and error to send (nil error
+// when the response was already written).
+func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time.Time) (int, string, error) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		return http.StatusMethodNotAllowed, fmt.Errorf("use POST")
+		return http.StatusMethodNotAllowed, "method", fmt.Errorf("use POST")
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
-		return http.StatusServiceUnavailable, fmt.Errorf("server is draining")
+		if mt := s.meter(); mt != nil {
+			mt.ServeShed("drain").Inc()
+		}
+		w.Header().Set("Retry-After", s.retryAfter())
+		return http.StatusTooManyRequests, "draining", fmt.Errorf("server is draining")
 	}
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return http.StatusBadRequest, fmt.Errorf("decoding request: %v", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.countRejection(http.StatusRequestEntityTooLarge)
+			return http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		s.countRejection(http.StatusBadRequest)
+		return http.StatusBadRequest, "malformed", fmt.Errorf("decoding request: %v", err)
 	}
-	if err := s.validate(&req); err != nil {
-		return http.StatusBadRequest, err
+
+	// Validation and admission: semantic checks (422), then predicted cost
+	// against the per-request budget (413) — all before the request may
+	// occupy a queue slot.
+	rv, rej := s.validate(&req)
+	if rej != nil {
+		s.countRejection(rej.Status)
+		return rej.Status, rej.Code, rej
+	}
+	qkey := requestKey(&req)
+	if reason, ok := s.quarantine.Lookup(qkey); ok {
+		if mt := s.meter(); mt != nil {
+			mt.ServeQuarantined().Inc()
+		}
+		s.countRejection(http.StatusUnprocessableEntity)
+		return http.StatusUnprocessableEntity, "quarantined",
+			fmt.Errorf("an identical request previously crashed the analysis pipeline (%s); refusing to repeat it", reason)
+	}
+	cost, rej := s.estimate(rv)
+	if rej != nil {
+		s.countRejection(rej.Status)
+		return rej.Status, rej.Code, rej
 	}
 
 	// Admission: a slot in the bounded queue, or immediate shedding. The
@@ -235,14 +312,30 @@ func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time
 	case s.admitted <- struct{}{}:
 	default:
 		if mt := s.meter(); mt != nil {
-			mt.Counter("scaltool_serve_shed_total", "analyses shed because the admission queue was full").Inc()
+			mt.ServeShed("queue").Inc()
 		}
-		w.Header().Set("Retry-After", retryAfter(s.opts.RequestTimeout))
-		return http.StatusTooManyRequests, fmt.Errorf("overloaded: %d analyses executing or queued", cap(s.admitted))
+		w.Header().Set("Retry-After", s.retryAfter())
+		return http.StatusTooManyRequests, "overloaded",
+			fmt.Errorf("overloaded: %d analyses executing or queued", cap(s.admitted))
 	}
 	defer func() { <-s.admitted }()
+
+	// The cost ledger: this request fits its own budget, but does the server
+	// have room for it on top of everything else admitted?
+	if rej := s.ledger.TryAdmit(cost); rej != nil {
+		if mt := s.meter(); mt != nil {
+			mt.ServeShed("ledger").Inc()
+		}
+		w.Header().Set("Retry-After", s.retryAfter())
+		return rej.Status, rej.Code, rej
+	}
+	defer s.ledger.Release(cost)
+	s.publishLedger()
+	defer s.publishLedger()
+
 	s.inflight.Add(1)
 	defer s.inflight.Done()
+	defer func() { s.drain.observe(time.Now()) }()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
@@ -253,7 +346,8 @@ func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time
 	select {
 	case s.workers <- struct{}{}:
 	case <-ctx.Done():
-		return http.StatusServiceUnavailable, fmt.Errorf("timed out waiting for a worker: %v", ctx.Err())
+		return http.StatusServiceUnavailable, "no_worker",
+			fmt.Errorf("timed out waiting for a worker: %v", ctx.Err())
 	}
 	defer func() { <-s.workers }()
 
@@ -262,36 +356,154 @@ func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time
 		g.Add(1)
 		defer g.Add(-1)
 	}
-	if s.testHookRun != nil {
-		s.testHookRun()
-	}
-
-	resp, err := s.analyze(ctx, &req)
+	resp, err := s.analyzeIsolated(ctx, &req, rv, qkey)
 	if err != nil {
-		if ctx.Err() != nil {
-			return http.StatusGatewayTimeout, fmt.Errorf("analysis exceeded its %s deadline", s.opts.RequestTimeout)
+		var pf *panicFault
+		if errors.As(err, &pf) {
+			obs.Log(ctx).Error("analysis panicked", "app", req.Ident(), "panic", pf.value)
+			return http.StatusInternalServerError, "panic",
+				fmt.Errorf("analysis panicked; this request shape is now quarantined")
 		}
-		obs.Log(ctx).Error("analysis failed", "app", req.App, "err", err)
-		return http.StatusInternalServerError, fmt.Errorf("analysis failed: %v", err)
+		if ctx.Err() != nil {
+			return http.StatusGatewayTimeout, "deadline",
+				fmt.Errorf("analysis exceeded its %s deadline", s.opts.RequestTimeout)
+		}
+		obs.Log(ctx).Error("analysis failed", "app", req.Ident(), "err", err)
+		return http.StatusInternalServerError, "failed", fmt.Errorf("analysis failed: %v", err)
 	}
 	body, err := encodeResponse(resp)
 	if err != nil {
-		return http.StatusInternalServerError, fmt.Errorf("encoding response: %v", err)
+		return http.StatusInternalServerError, "failed", fmt.Errorf("encoding response: %v", err)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
-	obs.Log(ctx).Info("analysis served", "app", req.App, "procs", req.Procs, "elapsed", time.Since(start))
-	return http.StatusOK, nil
+	obs.Log(ctx).Info("analysis served", "app", req.Ident(), "procs", req.Procs, "elapsed", time.Since(start))
+	return http.StatusOK, "", nil
 }
 
-// retryAfter suggests a client back-off: half the request deadline, at least
-// one second — by then at least some of the queue has drained.
-func retryAfter(timeout time.Duration) string {
-	secs := int(timeout.Seconds() / 2)
+// panicFault wraps a recovered analysis panic as an error.
+type panicFault struct {
+	value any
+	stack []byte
+}
+
+func (p *panicFault) Error() string { return fmt.Sprintf("analysis panicked: %v", p.value) }
+
+// analyzeIsolated runs the analysis with panic isolation: a panic anywhere
+// in the handler's half of the pipeline (campaign worker panics are already
+// recovered by the campaign and surface as errors) is converted to a
+// *panicFault instead of killing the daemon, counted, and its request shape
+// quarantined so a repeat is refused cheaply with 422.
+func (s *Server) analyzeIsolated(ctx context.Context, req *Request, rv *resolved, qkey string) (resp *Response, err error) {
+	quarantinePanic := func(value any, stack []byte) {
+		if mt := s.meter(); mt != nil {
+			mt.ServePanics().Inc()
+		}
+		s.quarantine.Add(qkey, fmt.Sprintf("panic: %v", value)) //scalvet:ignore runs once per panicking request, off the steady-state path
+		obs.Log(ctx).Error("quarantined panicking request shape", "key", qkey, "panic", value, "stack", string(stack))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			quarantinePanic(r, debug.Stack())
+			resp, err = nil, &panicFault{value: r, stack: debug.Stack()}
+		}
+	}()
+	// The test hook runs inside the isolation scope: tests use it both to
+	// hold a worker slot at a known occupancy and to simulate an analysis
+	// panic.
+	if s.testHookRun != nil {
+		s.testHookRun()
+	}
+	resp, err = s.analyze(ctx, req, rv)
+	// A campaign worker goroutine's panic is recovered off-handler and
+	// surfaces here as a *campaign.PanicError; treat it exactly like a
+	// same-goroutine panic.
+	var pe interface{ PanicValue() (any, []byte) }
+	if errors.As(err, &pe) {
+		v, stack := pe.PanicValue()
+		quarantinePanic(v, stack)
+		return nil, &panicFault{value: v, stack: stack}
+	}
+	return resp, err
+}
+
+// requestKey is the quarantine identity of a request: a digest of its
+// normalized (defaults applied) document, so the same hostile shape is
+// recognized however it arrives.
+func requestKey(req *Request) string {
+	doc, _ := json.Marshal(req)
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:8])
+}
+
+// publishLedger exports the ledger occupancy gauges.
+func (s *Server) publishLedger() {
+	mt := s.meter()
+	if mt == nil {
+		return
+	}
+	cycles, bytes, _ := s.ledger.InFlight()
+	mt.AdmittedCycles().Set(cycles)
+	mt.AdmittedBytes().Set(float64(bytes))
+}
+
+// drainEstimator tracks the observed inter-completion gap of analyses (an
+// EWMA) so 429s can tell clients when a slot will plausibly be free instead
+// of quoting a constant.
+type drainEstimator struct {
+	mu          sync.Mutex
+	lastDone    time.Time
+	avgInterval float64 // seconds between completions
+}
+
+// observe records one request completion.
+func (d *drainEstimator) observe(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.lastDone.IsZero() {
+		gap := now.Sub(d.lastDone).Seconds()
+		if d.avgInterval == 0 {
+			d.avgInterval = gap
+		} else {
+			d.avgInterval = 0.7*d.avgInterval + 0.3*gap
+		}
+	}
+	d.lastDone = now
+}
+
+// interval returns the estimated seconds between completions, or 0 before
+// any completion pair has been observed.
+func (d *drainEstimator) interval() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.avgInterval
+}
+
+// retryAfterSecs converts queue occupancy and the observed drain rate into a
+// Retry-After hint: the predicted time for the queue's head room to open up,
+// clamped to [1, fallback]. With no observations yet it returns fallback
+// (half the request deadline — the old constant policy).
+func retryAfterSecs(occupancy int, interval float64, fallback time.Duration) int {
+	max := int(fallback.Seconds() / 2)
+	if max < 1 {
+		max = 1
+	}
+	if interval <= 0 {
+		return max
+	}
+	secs := int(math.Ceil(interval * float64(occupancy+1)))
 	if secs < 1 {
 		secs = 1
 	}
-	return strconv.Itoa(secs)
+	if secs > max {
+		secs = max
+	}
+	return secs
+}
+
+// retryAfter renders the derived Retry-After header value for a 429.
+func (s *Server) retryAfter() string {
+	return strconv.Itoa(retryAfterSecs(len(s.admitted), s.drain.interval(), s.opts.RequestTimeout))
 }

@@ -198,7 +198,7 @@ func TestLoadShedding(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
-	if shed := mt.Counter("scaltool_serve_shed_total", "analyses shed because the admission queue was full").Value(); shed != 1 {
+	if shed := mt.ServeShed("queue").Value(); shed != 1 {
 		t.Fatalf("shed counter = %d, want 1", shed)
 	}
 
@@ -211,12 +211,14 @@ func TestLoadShedding(t *testing.T) {
 }
 
 // TestDrain checks the shutdown sequence: draining flips healthz to 503,
-// new analyses are refused, in-flight ones finish, and Drain returns only
-// once they have.
+// new analyses are shed with 429 (retryable elsewhere), in-flight ones
+// finish with a complete response, and Drain returns only once they have.
 func TestDrain(t *testing.T) {
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
-	s, ts, _ := newTestServer(t, Options{Workers: 1})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	s, ts, mt := newTestServer(t, Options{Workers: 1})
 	s.testHookRun = func() { started <- struct{}{}; <-release }
 
 	done := make(chan []byte, 1)
@@ -236,7 +238,9 @@ func TestDrain(t *testing.T) {
 		t.Fatal("Drain returned while an analysis was in flight")
 	}
 
-	// Draining: healthz 503, new analyses 503.
+	// Draining: healthz 503 (stop routing here), new analyses shed with 429
+	// and a Retry-After — the work is retryable against a peer or after the
+	// restart.
 	hz, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -245,16 +249,27 @@ func TestDrain(t *testing.T) {
 	if hz.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining healthz = %d, want 503", hz.StatusCode)
 	}
-	resp, _ := postAnalyze(t, ts.URL, analyzeBody("swim", 2))
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining analyze = %d, want 503", resp.StatusCode)
+	resp, body := postAnalyze(t, ts.URL, analyzeBody("swim", 2))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("draining analyze = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 429 without Retry-After")
+	}
+	if shed := mt.ServeShed("drain").Value(); shed != 1 {
+		t.Fatalf("drain shed counter = %d, want 1", shed)
 	}
 
-	// Release the in-flight analysis: it must complete normally and Drain
-	// must now succeed.
-	close(release)
-	if b := <-done; b == nil {
+	// Release the in-flight analysis: it must complete normally — a full,
+	// decodable response, never a partial one — and Drain must now succeed.
+	once.Do(func() { close(release) })
+	b := <-done
+	if b == nil {
 		t.Fatal("in-flight analysis was not allowed to finish during drain")
+	}
+	var out Response
+	if err := json.Unmarshal(b, &out); err != nil || len(out.Speedups) == 0 {
+		t.Fatalf("drained in-flight response incomplete: %v\n%s", err, b)
 	}
 	dctx2, dcancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer dcancel2()
@@ -263,21 +278,34 @@ func TestDrain(t *testing.T) {
 	}
 }
 
-// TestRequestValidation covers the 4xx surface.
+// TestRequestValidation pins the 4xx contract: 400 for documents that are
+// not the request schema, 413 for documents or datasets over this server's
+// budgets, 422 for well-formed but semantically invalid requests — each with
+// a stable machine-readable code in the body.
 func TestRequestValidation(t *testing.T) {
 	_, ts, _ := newTestServer(t, Options{Workers: 1, MaxProcs: 8})
+	hugeBody := `{"app":"swim","procs":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
 	cases := []struct {
 		name string
 		body string
 		want int
+		code string
 	}{
-		{"unknown app", `{"app":"nope"}`, http.StatusBadRequest},
-		{"missing app", `{}`, http.StatusBadRequest},
-		{"bad procs", `{"app":"swim","procs":3}`, http.StatusBadRequest},
-		{"procs over limit", `{"app":"swim","procs":16}`, http.StatusBadRequest},
-		{"bad machine", `{"app":"swim","machine":"cray"}`, http.StatusBadRequest},
-		{"garbage body", `{"app":`, http.StatusBadRequest},
-		{"unknown field", `{"app":"swim","frobnicate":1}`, http.StatusBadRequest},
+		{"garbage body", `{"app":`, http.StatusBadRequest, "malformed"},
+		{"unknown field", `{"app":"swim","frobnicate":1}`, http.StatusBadRequest, "malformed"},
+		{"wrong type", `{"app":"swim","procs":"four"}`, http.StatusBadRequest, "malformed"},
+		{"body over limit", hugeBody, http.StatusRequestEntityTooLarge, "body_too_large"},
+		{"s0 over budget", `{"app":"swim","procs":4,"s0":18446744073709551615}`, http.StatusRequestEntityTooLarge, "s0_budget"},
+		{"missing app", `{}`, http.StatusUnprocessableEntity, "missing_app"},
+		{"unknown app", `{"app":"nope"}`, http.StatusUnprocessableEntity, "unknown_app"},
+		{"app and program", `{"app":"swim","program":{"name":"x","arrays":[{"name":"a","elems":64}],"regions":[{"name":"r","ops":[{"kind":"read","array":"a"}]}]}}`,
+			http.StatusUnprocessableEntity, "ambiguous_app"},
+		{"bad procs", `{"app":"swim","procs":3}`, http.StatusUnprocessableEntity, "bad_procs"},
+		{"procs over limit", `{"app":"swim","procs":16}`, http.StatusUnprocessableEntity, "procs_cap"},
+		{"bad machine", `{"app":"swim","machine":"cray"}`, http.StatusUnprocessableEntity, "bad_machine"},
+		{"bad spec", `{"program":{"name":"x","arrays":[],"regions":[]}}`, http.StatusUnprocessableEntity, "spec_arrays"},
+		{"spec bad op", `{"program":{"name":"x","arrays":[{"name":"a","elems":64}],"regions":[{"name":"r","ops":[{"kind":"warp","array":"a"}]}]}}`,
+			http.StatusUnprocessableEntity, "spec_op_kind"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -288,6 +316,9 @@ func TestRequestValidation(t *testing.T) {
 			var e map[string]string
 			if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
 				t.Fatalf("error body not the uniform shape: %s", body)
+			}
+			if e["code"] != tc.code {
+				t.Fatalf("code %q, want %q (%s)", e["code"], tc.code, body)
 			}
 		})
 	}

@@ -28,8 +28,15 @@ go test -run TestObsEndToEnd ./cmd/scaltool/
 echo "==> run-cache race gate (singleflight + LRU eviction under the race detector)"
 go test -race ./internal/runcache/... ./internal/serve/...
 
-echo "==> serving e2e (scaltoold: bind, concurrent cached analyses, SIGTERM drain)"
-go test -run TestScaltooldServeE2E ./cmd/scaltoold/
+echo "==> HTTP chaos gate (hostile transport + documents under the race detector)"
+go test -run 'TestChaos|TestPanicIsolation|TestCorruptSpill' -race ./internal/serve/...
+
+echo "==> fuzz smoke gate (committed seed corpora + 10s of new coverage per target)"
+go test -run '^$' -fuzz FuzzProgramAdmission -fuzztime 10s ./internal/admission/
+go test -run '^$' -fuzz FuzzAnalyzeRequest -fuzztime 10s ./internal/serve/
+
+echo "==> serving e2e (scaltoold: bind, concurrent cached analyses, SIGTERM drain; budget flags)"
+go test -run 'TestScaltooldServeE2E|TestScaltooldBudgetFlags' ./cmd/scaltoold/
 
 echo "==> scalvet self-host (the analyzer and its driver hold themselves to zero findings)"
 go run ./cmd/scalvet ./internal/analysis/... ./cmd/scalvet
