@@ -31,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 
 	"scaltool/internal/apps"
 	"scaltool/internal/campaign"
+	"scaltool/internal/diagnose"
 	"scaltool/internal/faultinject"
 	"scaltool/internal/health"
 	"scaltool/internal/machine"
@@ -210,7 +212,7 @@ func (c *common) observe() (context.Context, func() error, error) {
 			}
 		}
 		if *c.traceOut != "" {
-			if err := o.Trace.WriteFile(*c.traceOut); err != nil {
+			if err := o.Trace.WriteFileAtomic(*c.traceOut); err != nil {
 				return fmt.Errorf("trace: %w", err)
 			}
 		}
@@ -454,7 +456,10 @@ func cmdPlan(args []string) error {
 	return c.emit(tb2)
 }
 
-func fitFor(c *common) (*campaign.Result, *model.Model, error) {
+// fitFor runs the campaign and fit. post, if non-nil, runs after the fit
+// under the same observed context (so its spans and metrics land in the
+// -trace-out/-metrics-out files) — the -diagnose-json hook.
+func fitFor(c *common, post func(context.Context, *campaign.Result) error) (*campaign.Result, *model.Model, error) {
 	if err := c.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -487,18 +492,74 @@ func fitFor(c *common) (*campaign.Result, *model.Model, error) {
 	if err := res.CloseJournal(); err != nil {
 		return nil, nil, fmt.Errorf("closing campaign journal: %w", err)
 	}
+	if post != nil {
+		if err := post(ctx, res); err != nil {
+			return nil, nil, err
+		}
+	}
 	if err := flush(); err != nil {
 		return nil, nil, err
 	}
 	return res, m, c.reportHealth(res.Health)
 }
 
+// writeDiagnosis runs the region-graph root-cause analysis on a finished
+// campaign (internal/diagnose) and writes the self-verified ranked culprit
+// report as JSON.
+func writeDiagnosis(ctx context.Context, res *campaign.Result, path string) error {
+	fam, err := diagnose.FromCampaign(res)
+	if err != nil {
+		return fmt.Errorf("diagnose: %w", err)
+	}
+	app, err := apps.ByName(res.Plan.App)
+	if err != nil {
+		return fmt.Errorf("diagnose: %w", err)
+	}
+	nmax := res.Plan.ProcCounts[len(res.Plan.ProcCounts)-1]
+	prog, err := app.Build(res.Machine, nmax, res.Plan.S0)
+	if err != nil {
+		return fmt.Errorf("diagnose: building structure graph: %w", err)
+	}
+	rep, err := diagnose.Run(ctx, diagnose.BuildGraph(prog), fam, diagnose.Options{})
+	if err != nil {
+		return err
+	}
+	if err := rep.Verify(); err != nil {
+		return fmt.Errorf("diagnose: report failed self-verification: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("diagnose: %w", err)
+	}
+	if err := json.NewEncoder(f).Encode(rep); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("diagnose: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("diagnose: %w", err)
+	}
+	if len(rep.Culprits) > 0 {
+		top := rep.Culprits[0]
+		fmt.Printf("diagnosis: scaling loss %.4g cycles at %d procs; top culprit %q (%s, %.4g cycles recoverable) → %s\n",
+			rep.ScalingLoss, rep.Procs[len(rep.Procs)-1], top.Region, top.Verdict, top.Recoverable, path)
+	}
+	return nil
+}
+
 func cmdAnalyze(args []string) error {
 	c := commonFlags("analyze")
+	diagOut := c.fs.String("diagnose-json", "",
+		"write the region-graph scaling-loss diagnosis (ranked culprit report) to this file")
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
-	res, m, err := fitFor(c)
+	var post func(context.Context, *campaign.Result) error
+	if *diagOut != "" {
+		post = func(ctx context.Context, res *campaign.Result) error {
+			return writeDiagnosis(ctx, res, *diagOut)
+		}
+	}
+	res, m, err := fitFor(c, post)
 	if err != nil {
 		return err
 	}
@@ -628,7 +689,7 @@ func cmdWhatif(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
-	_, m, err := fitFor(c)
+	_, m, err := fitFor(c, nil)
 	if err != nil {
 		return err
 	}

@@ -68,6 +68,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		grace      = fs.Duration("shutdown-grace", 30*time.Second, "how long a SIGTERM drain may take before the process force-exits")
 		logLevel   = fs.String("log-level", "info", "structured log level: debug | info | warn | error")
 		logJSON    = fs.Bool("log-json", false, "emit the structured log as JSON lines")
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace_event timeline of served requests here on exit (flushed atomically during drain)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,7 +85,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			MaxServerBytes:   int64(*srvMB) << 20,
 		},
 		readHeaderTimeout: *hdrTimeout, readTimeout: *rdTimeout,
-		logLevel: *logLevel, logJSON: *logJSON,
+		logLevel: *logLevel, logJSON: *logJSON, traceOut: *traceOut,
 	}, stdout, stderr); err != nil {
 		fmt.Fprintln(stderr, "scaltoold:", err)
 		return 1
@@ -102,6 +103,7 @@ type serveOptions struct {
 	readHeaderTimeout, readTimeout time.Duration
 	logLevel                       string
 	logJSON                        bool
+	traceOut                       string
 }
 
 func run(addr string, grace time.Duration, so serveOptions, stdout, stderr io.Writer) error {
@@ -118,6 +120,21 @@ func run(addr string, grace time.Duration, so serveOptions, stdout, stderr io.Wr
 	o := &obs.Observer{
 		Metrics: obs.NewMetrics(),
 		Logger:  obs.NewLogger(stderr, level, so.logJSON),
+	}
+	if so.traceOut != "" {
+		o.Trace = obs.NewTracer()
+		// The flush rides a defer so every exit path — clean drain, drain
+		// timeout, listener failure — leaves a complete JSON document at
+		// -trace-out. WriteFileAtomic renames a synced temp file into place,
+		// so a reader racing the shutdown sees the whole trace or nothing,
+		// never a truncated one.
+		defer func() {
+			if err := o.Trace.WriteFileAtomic(so.traceOut); err != nil {
+				fmt.Fprintln(stderr, "scaltoold: writing trace:", err)
+				return
+			}
+			fmt.Fprintf(stderr, "scaltoold: trace (%d events) → %s\n", o.Trace.Len(), so.traceOut)
+		}()
 	}
 	var cache *runcache.Cache
 	if so.cacheMB > 0 {

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -125,6 +128,98 @@ func TestScaltooldServeE2E(t *testing.T) {
 		t.Fatalf("address still held after shutdown: %v", err)
 	}
 	ln.Close()
+}
+
+// TestScaltooldTraceFlush: with -trace-out set, a SIGTERM drain leaves a
+// complete, parseable trace_event JSON document on disk — never a truncated
+// one (the writer replaces the path atomically) — and the trace carries the
+// request-scoped spans of the work the daemon served, tagged with the
+// request id.
+func TestScaltooldTraceFlush(t *testing.T) {
+	ready := make(chan string, 1)
+	testOnReady = func(addr string) { ready <- addr }
+	defer func() { testOnReady = nil }()
+
+	tracePath := filepath.Join(t.TempDir(), "scaltoold-trace.json")
+	// Seed the path with garbage: if the flush were a plain truncating write
+	// interrupted by exit, a stale or partial document could survive. The
+	// atomic rename must replace this wholesale.
+	if err := os.WriteFile(tracePath, []byte(`{"traceEvents":[{"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderrBuf bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "2",
+			"-cache-mb", "64",
+			"-trace-out", tracePath,
+			"-log-level", "warn",
+		}, &stdout, &stderrBuf)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never became ready; stderr:\n%s", stderrBuf.String())
+	}
+	base := "http://" + addr
+
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/analyze", strings.NewReader(`{"app":"swim","procs":4}`))
+	req.Header.Set("X-Request-Id", "trace-flush-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM; stderr:\n%s", code, stderrBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not flushed: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("flushed trace is not complete JSON: %v\n%.200s", err, raw)
+	}
+	var sawCampaign, sawReqID bool
+	for _, ev := range trace.TraceEvents {
+		if ev.Name == "campaign" {
+			sawCampaign = true
+		}
+		if id, ok := ev.Args["req_id"]; ok && id == "trace-flush-test" {
+			sawReqID = true
+		}
+	}
+	if !sawCampaign {
+		t.Errorf("trace has no campaign span among %d events", len(trace.TraceEvents))
+	}
+	if !sawReqID {
+		t.Errorf("no span carries the request id; tracing is not end-to-end (%d events)", len(trace.TraceEvents))
+	}
 }
 
 // TestScaltooldFailFast covers startup validation: a taken address and bad

@@ -231,3 +231,17 @@ func (b Budget) EstimatePlan(cfg machine.Config, app apps.App, plan campaign.Pla
 	}
 	return c, nil
 }
+
+// EstimateDiagnose prices a diagnosis request: the underlying campaign
+// plus the diagnosis overlay. The overlay's retained state — per-region ×
+// per-processor curves, the structure graph, the encoded report — is
+// bounded by one more copy of the campaign's retained timeline records,
+// so it is charged exactly that.
+func (b Budget) EstimateDiagnose(cfg machine.Config, app apps.App, plan campaign.Plan, workers int) (Cost, *Rejection) {
+	c, rej := b.EstimatePlan(cfg, app, plan, workers)
+	if rej != nil {
+		return Cost{}, rej
+	}
+	c.AllocBytes += c.TimelineBytes
+	return c, nil
+}

@@ -1,0 +1,49 @@
+package diagnose
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkDiagnose measures what the diagnosis layer adds on top of the
+// campaign it explains — the pair recorded in BENCH_diagnose.json:
+//
+//	campaign — executing the 1/2/4/8-processor base-run sweep the family
+//	           is read from (the work /v1/analyze already does)
+//	overlay  — the diagnosis itself on a finished campaign: attribution
+//	           family extraction, graph construction, curve building,
+//	           backtracking, ranking, and the report's self-verification
+//
+// The acceptance bar is overlay ≤ 5% of campaign: diagnosis must be a
+// free rider on simulation work, never a second pipeline.
+func BenchmarkDiagnose(b *testing.B) {
+	b.Run("campaign", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runCampaign(b, "swim", 8)
+		}
+	})
+	b.Run("overlay", func(b *testing.B) {
+		res, app, cfg := runCampaign(b, "swim", 8)
+		prog, err := app.Build(cfg, 8, res.Plan.S0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fam, err := FromCampaign(res)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := Run(ctx, BuildGraph(prog), fam, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rep.Verify(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

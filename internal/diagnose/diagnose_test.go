@@ -1,0 +1,379 @@
+package diagnose
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/campaign"
+	"scaltool/internal/machine"
+	"scaltool/internal/sim"
+)
+
+func runCampaign(t testing.TB, appName string, maxProcs int) (*campaign.Result, apps.App, machine.Config) {
+	t.Helper()
+	cfg := machine.TinyTest()
+	app, err := apps.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := campaign.NewPlan(app, cfg, maxProcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := &campaign.Runner{Cfg: cfg, Workers: 4}
+	res, err := rn.Execute(context.Background(), app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, app, cfg
+}
+
+func familyFor(t testing.TB, appName string, maxProcs int) (Family, *Graph) {
+	t.Helper()
+	res, app, cfg := runCampaign(t, appName, maxProcs)
+	fam, err := FromCampaign(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := app.Build(cfg, maxProcs, res.Plan.S0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fam, BuildGraph(prog)
+}
+
+// The acceptance property: on a real 1/2/4/8 campaign the per-region
+// recoverable-cycle estimates tile the measured scaling loss to 2^-20, and
+// every run's region attribution tiles procs × wall. t3dheat exercises the
+// name-varying case — its tree reductions emit log2(p) "reduce_*" regions,
+// zero at the uniprocessor baseline.
+func TestDiagnoseTilesScalingLoss(t *testing.T) {
+	for _, appName := range []string{"swim", "t3dheat"} {
+		t.Run(appName, func(t *testing.T) {
+			fam, g := familyFor(t, appName, 8)
+			rep, err := Run(context.Background(), g, fam, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Verify(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Re-derive the identities from the raw family, independent of
+			// Verify's bookkeeping.
+			for _, run := range fam.Runs {
+				var tot float64
+				for _, reg := range run.Regions {
+					tot += reg.Busy + reg.Sync + reg.Imb
+				}
+				want := float64(run.Procs) * run.WallCycles
+				if !within(tot, want) {
+					t.Errorf("run %s: region cycles %.6g vs procs×wall %.6g", run.ID, tot, want)
+				}
+				// The per-processor split must tile each region's totals.
+				for _, reg := range run.Regions {
+					var b, s, im float64
+					for _, ph := range reg.PerProc {
+						b += ph.Busy
+						s += ph.Sync
+						im += ph.Imb
+					}
+					if !within(b, reg.Busy) || !within(s, reg.Sync) || !within(im, reg.Imb) {
+						t.Errorf("run %s region %s: per-proc split does not tile totals", run.ID, reg.Name)
+					}
+				}
+			}
+			last := fam.Runs[len(fam.Runs)-1]
+			wantLoss := float64(last.Procs)*last.WallCycles - fam.Runs[0].WallCycles
+			var sum float64
+			for _, c := range rep.Culprits {
+				sum += c.Recoverable
+			}
+			if !within(sum, wantLoss) {
+				t.Errorf("culprit sum %.6g vs measured scaling loss %.6g", sum, wantLoss)
+			}
+			if len(rep.Culprits) > 0 && rep.Culprits[0].Verdict == VerdictScales {
+				t.Errorf("top culprit %q carries no verdict despite loss %.6g", rep.Culprits[0].Region, wantLoss)
+			}
+			for i := 1; i < len(rep.Culprits); i++ {
+				if rep.Culprits[i].Recoverable > rep.Culprits[i-1].Recoverable {
+					t.Errorf("culprits not ranked: %q (%.6g) after %q (%.6g)",
+						rep.Culprits[i].Region, rep.Culprits[i].Recoverable,
+						rep.Culprits[i-1].Region, rep.Culprits[i-1].Recoverable)
+				}
+			}
+		})
+	}
+}
+
+func TestDiagnoseDeterministic(t *testing.T) {
+	fam, g := familyFor(t, "swim", 4)
+	var prev []byte
+	for i := 0; i < 3; i++ {
+		rep, err := Run(context.Background(), g, fam, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !bytes.Equal(prev, b) {
+			t.Fatalf("run %d: report bytes differ from previous run", i)
+		}
+		prev = b
+	}
+}
+
+// att builds a single-instance attribution with a uniform per-proc split
+// except where overridden.
+func att(name string, procs int, busy, sync, imb float64, perProc []sim.ProcPhases) sim.RegionAttribution {
+	if perProc == nil {
+		perProc = make([]sim.ProcPhases, procs)
+		for p := range perProc {
+			perProc[p] = sim.ProcPhases{Busy: busy / float64(procs), Sync: sync / float64(procs), Imb: imb / float64(procs)}
+		}
+	}
+	return sim.RegionAttribution{Name: name, Busy: busy, Sync: sync, Imb: imb, PerProc: perProc}
+}
+
+// handFamily: baseline A=100 busy, B=50 busy (wall 150); at p=4 A gains 60
+// imbalance (straggler proc 2), B gains 200 sync, and C appears with 10
+// busy (absent at baseline — a tree-reduce-style region). Region cycles
+// 420 = 4 × wall 105; scaling loss 4×105−150 = 270 = 200+60+10.
+func handFamily() Family {
+	return Family{
+		App: "hand", Machine: "tiny-test", S0: 4096,
+		Runs: []campaign.AttributionRun{
+			{ID: "base_p01_s4096", Procs: 1, WallCycles: 150, Regions: []sim.RegionAttribution{
+				att("A", 1, 100, 0, 0, nil),
+				att("B", 1, 50, 0, 0, nil),
+			}},
+			{ID: "base_p04_s4096", Procs: 4, WallCycles: 105, Regions: []sim.RegionAttribution{
+				att("A", 4, 100, 0, 60, []sim.ProcPhases{
+					{Busy: 20, Imb: 20}, {Busy: 20, Imb: 20}, {Busy: 40}, {Busy: 20, Imb: 20},
+				}),
+				att("B", 4, 50, 200, 0, nil),
+				att("C", 4, 10, 0, 0, nil),
+			}},
+		},
+	}
+}
+
+func handGraph() *Graph {
+	return &Graph{
+		Nodes: []Node{
+			{Name: "A", Kind: KindRegion, Instances: 1},
+			{Name: BarrierNode("A"), Kind: KindBarrier},
+			{Name: "B", Kind: KindRegion, Instances: 1},
+			{Name: BarrierNode("B"), Kind: KindBarrier},
+		},
+	}
+}
+
+func TestDiagnoseBacktracking(t *testing.T) {
+	rep, err := Run(context.Background(), handGraph(), handFamily(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Culprits); got != 3 {
+		t.Fatalf("culprits = %d, want 3", got)
+	}
+	checks := []struct {
+		region, verdict, object string
+		recoverable             float64
+		straggler               int
+		firstLoss               int
+	}{
+		{"B", VerdictSynchronization, BarrierNode("B"), 200, -1, 4},
+		{"A", VerdictImbalance, BarrierNode("A"), 60, 2, 4},
+		{"C", VerdictCommunication, "", 10, -1, 4},
+	}
+	for i, want := range checks {
+		c := rep.Culprits[i]
+		if c.Region != want.region || c.Verdict != want.verdict || c.SyncObject != want.object {
+			t.Errorf("rank %d: got (%s, %s, %s), want (%s, %s, %s)",
+				i+1, c.Region, c.Verdict, c.SyncObject, want.region, want.verdict, want.object)
+		}
+		if !within(c.Recoverable, want.recoverable) {
+			t.Errorf("rank %d (%s): recoverable %.6g, want %.6g", i+1, c.Region, c.Recoverable, want.recoverable)
+		}
+		if c.StragglerProc != want.straggler {
+			t.Errorf("rank %d (%s): straggler %d, want %d", i+1, c.Region, c.StragglerProc, want.straggler)
+		}
+		if c.FirstLossProcs != want.firstLoss {
+			t.Errorf("rank %d (%s): first loss at %d procs, want %d", i+1, c.Region, c.FirstLossProcs, want.firstLoss)
+		}
+	}
+	if rep.ScalingLoss != 270 { //scalvet:ignore exact hand-built arithmetic
+		t.Errorf("scaling loss %.6g, want 270", rep.ScalingLoss)
+	}
+}
+
+func TestDiagnoseSerializationVerdict(t *testing.T) {
+	fam := handFamily()
+	g := handGraph()
+	g.Nodes[2].Critical = true // B holds critical sections
+	g.Nodes = append(g.Nodes, Node{Name: LockNode, Kind: KindLock})
+	rep, err := Run(context.Background(), g, fam, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := rep.Culprits[0]; c.Region != "B" || c.Verdict != VerdictSerialization || c.SyncObject != LockNode {
+		t.Fatalf("critical region B: got (%s, %s, %s), want serialization on the lock", c.Region, c.Verdict, c.SyncObject)
+	}
+}
+
+func TestDiagnoseTruncation(t *testing.T) {
+	rep, err := Run(context.Background(), handGraph(), handFamily(), Options{MaxCulprits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Culprits) != 1 {
+		t.Fatalf("culprits = %d, want 1", len(rep.Culprits))
+	}
+	if !within(rep.TruncatedLoss, 70) {
+		t.Errorf("truncated loss %.6g, want 70", rep.TruncatedLoss)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Fatalf("truncated report must still verify: %v", err)
+	}
+}
+
+func TestDiagnoseRejectsBadFamilies(t *testing.T) {
+	fam := handFamily()
+	if _, err := Run(context.Background(), nil, Family{Runs: fam.Runs[1:]}, Options{}); err == nil {
+		t.Error("family without uniprocessor baseline accepted")
+	}
+	rev := Family{Runs: []campaign.AttributionRun{fam.Runs[0]}}
+	if _, err := Run(context.Background(), nil, rev, Options{}); err == nil {
+		t.Error("single-run family accepted")
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	mk := func() *Report {
+		rep, err := Run(context.Background(), handGraph(), handFamily(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cases := []struct {
+		name   string
+		mangle func(*Report)
+	}{
+		{"inflated culprit", func(r *Report) { r.Culprits[0].Recoverable *= 2 }},
+		{"wrong scaling loss", func(r *Report) { r.ScalingLoss += 1 }},
+		{"broken run tiling", func(r *Report) { r.Runs[1].RegionCycles += 1 }},
+		{"reordered ranks", func(r *Report) { r.Culprits[0].Rank = 7 }},
+		{"curve tamper", func(r *Report) { r.Culprits[0].Curve[1].Loss += 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := mk()
+			if err := rep.Verify(); err != nil {
+				t.Fatalf("clean report fails: %v", err)
+			}
+			tc.mangle(rep)
+			if err := rep.Verify(); err == nil {
+				t.Error("mangled report verified")
+			}
+		})
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	prog, err := sim.NewProgram("g", 2, 4096, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2; step++ {
+		r1 := prog.AddRegion("work")
+		for p := 0; p < 2; p++ {
+			r1.Proc(p).Compute(10)
+		}
+		r2 := prog.AddRegion("update")
+		for p := 0; p < 2; p++ {
+			r2.Proc(p).Critical(5)
+		}
+	}
+	g := BuildGraph(prog)
+
+	work, update := g.Node("work"), g.Node("update")
+	if work == nil || update == nil {
+		t.Fatal("region nodes missing")
+	}
+	if work.Instances != 2 || update.Instances != 2 {
+		t.Errorf("instances work=%d update=%d, want 2,2", work.Instances, update.Instances)
+	}
+	if work.Critical || !update.Critical {
+		t.Errorf("critical flags: work=%v update=%v", work.Critical, update.Critical)
+	}
+	if g.Node(LockNode) == nil {
+		t.Error("lock node missing despite critical sections")
+	}
+	if g.Node(BarrierNode("work")) == nil || g.Node(BarrierNode("update")) == nil {
+		t.Error("barrier nodes missing")
+	}
+	wantEdges := []Edge{
+		{From: "work", To: BarrierNode("work"), Kind: EdgeBarrier},
+		{From: "update", To: BarrierNode("update"), Kind: EdgeBarrier},
+		{From: "update", To: LockNode, Kind: EdgeLock},
+		{From: BarrierNode("work"), To: "update", Kind: EdgeSeq},
+		{From: BarrierNode("update"), To: "work", Kind: EdgeSeq},
+	}
+	for _, want := range wantEdges {
+		found := false
+		for _, e := range g.Edges {
+			if e == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("edge %+v missing", want)
+		}
+	}
+	// Repeated instances must not duplicate edges.
+	seen := map[Edge]int{}
+	for _, e := range g.Edges {
+		seen[e]++
+		if seen[e] > 1 {
+			t.Errorf("duplicate edge %+v", e)
+		}
+	}
+}
+
+func TestGraphJSONDeterministic(t *testing.T) {
+	app, err := apps.ByName("hydro2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.TinyTest()
+	var prev []byte
+	for i := 0; i < 3; i++ {
+		prog, err := app.Build(cfg, 4, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(BuildGraph(prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !bytes.Equal(prev, b) {
+			t.Fatal("graph JSON differs across identical builds")
+		}
+		prev = b
+	}
+	if !strings.Contains(string(prev), `"kind":"region"`) {
+		t.Error("graph JSON missing region nodes")
+	}
+}

@@ -1,0 +1,150 @@
+// Package diagnose pinpoints which program regions cause a campaign's
+// scaling loss — the root-cause layer on top of Scal-Tool's Busy/Sync/Imb
+// cycle decomposition (ROADMAP item 4, after ScalAna's graph-backtracking
+// idea).
+//
+// The inputs are (a) a program structure graph built from a sim.Program's
+// regions and synchronization topology and (b) the per-region,
+// per-processor attribution of every base run in a campaign family — one
+// run per processor count at a fixed data-set size. Run overlays (b) on
+// (a), computes each region's scaling-loss curve across processor counts,
+// backtracks every loss to its originating region and sync object, and
+// emits a ranked culprit report whose recoverable-cycle estimates exactly
+// tile the campaign's measured scaling loss. Report.Verify re-checks the
+// whole provenance chain to TileTolerance (1 part in 2^20).
+package diagnose
+
+import "scaltool/internal/sim"
+
+// Node kinds of the program structure graph.
+const (
+	KindRegion  = "region"
+	KindBarrier = "barrier"
+	KindLock    = "lock"
+)
+
+// Edge kinds of the program structure graph.
+const (
+	// EdgeSeq is program order: a region's closing barrier releases into
+	// the next distinct region.
+	EdgeSeq = "seq"
+	// EdgeBarrier joins a region to the closing barrier it drains into.
+	EdgeBarrier = "barrier"
+	// EdgeLock joins a region holding critical sections to the global lock
+	// its sections serialize on.
+	EdgeLock = "lock"
+)
+
+// Node is one vertex of the program structure graph: a named region, a
+// region's closing barrier, or the global lock.
+type Node struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Instances counts how many times a region node's name occurs in the
+	// program (apps repeat region names across time steps).
+	Instances int `json:"instances,omitempty"`
+	// Critical marks a region node containing critical sections.
+	Critical bool `json:"critical,omitempty"`
+}
+
+// Edge is one directed edge of the program structure graph.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Kind string `json:"kind"`
+}
+
+// Graph is the program structure graph: regions connected through the sync
+// objects that order them. Construction order is deterministic (program
+// order with first-appearance dedup), so its JSON encoding is byte-stable.
+type Graph struct {
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// BarrierNode names the closing-barrier node of a region.
+func BarrierNode(region string) string { return "barrier:" + region }
+
+// LockNode is the single global-lock node (sim programs share one lock).
+const LockNode = "lock"
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node {
+	for i := range g.Nodes {
+		if g.Nodes[i].Name == name {
+			return &g.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// BuildGraph constructs the program structure graph of a built program:
+// one region node per distinct region name in first-appearance order, each
+// with its closing-barrier node (every sim region ends in a barrier), a
+// single lock node if any region takes the global lock, barrier edges
+// region→barrier, lock edges region→lock for critical regions, and seq
+// edges barrier→region following program order between adjacent instances.
+func BuildGraph(prog *sim.Program) *Graph {
+	regions := prog.Regions()
+
+	type rinfo struct {
+		instances int
+		critical  bool
+	}
+	idx := make(map[string]*rinfo, len(regions))
+	order := make([]string, 0, len(regions))
+	for ri := range regions {
+		name := regions[ri].Name
+		info := idx[name]
+		if info == nil {
+			info = &rinfo{}
+			idx[name] = info
+			order = append(order, name)
+		}
+		info.instances++
+		if !info.critical {
+		scan:
+			for pi := range regions[ri].Streams {
+				for _, op := range regions[ri].Streams[pi].Ops {
+					if op.Kind == sim.OpCritical {
+						info.critical = true
+						break scan
+					}
+				}
+			}
+		}
+	}
+
+	g := &Graph{
+		Nodes: make([]Node, 0, 2*len(order)+1),
+		Edges: make([]Edge, 0, 3*len(order)),
+	}
+	anyLock := false
+	for _, name := range order {
+		info := idx[name]
+		g.Nodes = append(g.Nodes,
+			Node{Name: name, Kind: KindRegion, Instances: info.instances, Critical: info.critical},
+			Node{Name: BarrierNode(name), Kind: KindBarrier})
+		anyLock = anyLock || info.critical
+	}
+	if anyLock {
+		g.Nodes = append(g.Nodes, Node{Name: LockNode, Kind: KindLock})
+	}
+
+	for _, name := range order {
+		g.Edges = append(g.Edges, Edge{From: name, To: BarrierNode(name), Kind: EdgeBarrier})
+		if idx[name].critical {
+			g.Edges = append(g.Edges, Edge{From: name, To: LockNode, Kind: EdgeLock})
+		}
+	}
+	seen := make(map[[2]string]bool, len(regions))
+	for ri := 1; ri < len(regions); ri++ {
+		pair := [2]string{regions[ri-1].Name, regions[ri].Name}
+		if seen[pair] {
+			continue
+		}
+		seen[pair] = true
+		g.Edges = append(g.Edges, Edge{From: BarrierNode(pair[0]), To: pair[1], Kind: EdgeSeq})
+	}
+	return g
+}

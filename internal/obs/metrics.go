@@ -215,6 +215,35 @@ func (h *Histogram) Count() uint64 {
 	return n
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the containing bucket —
+// Prometheus histogram_quantile semantics, so /metrics consumers and
+// in-process callers agree. Observations above the last finite bound clamp
+// to it. Returns NaN on a nil or empty histogram or q outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	total := h.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (bound-lo)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of observations (0 on nil).
 func (h *Histogram) Sum() float64 {
 	if h == nil {

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"regexp"
 	"strings"
 	"sync"
@@ -34,6 +35,34 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 	if h.Sum() != 1006.5 {
 		t.Fatalf("hist sum = %g", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("scaltool_test_q_seconds", "quantile test", []float64{1, 10, 100})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(2) // all four observations land in the (1, 10] bucket
+	}
+	if got := h.Quantile(0.5); got != 5.5 {
+		t.Fatalf("p50 = %g, want 5.5 (midpoint interpolation in (1,10])", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("p100 = %g, want the bucket's upper bound", got)
+	}
+	h.Observe(1e6) // overflow bucket: quantiles clamp to the last finite bound
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("p99 with overflow = %g, want clamp to 100", got)
+	}
+	if !math.IsNaN(h.Quantile(1.5)) || !math.IsNaN(h.Quantile(-0.1)) {
+		t.Fatal("out-of-range quantiles should be NaN")
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile should be NaN")
 	}
 }
 

@@ -44,6 +44,7 @@ const (
 	observerKey ctxKey = iota
 	spanKey
 	loggerKey
+	requestIDKey
 )
 
 // NewContext installs an observer in a context.
@@ -84,6 +85,21 @@ func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
 	return context.WithValue(ctx, loggerKey, l)
 }
 
+// WithRequestID threads an end-to-end request identity through a context:
+// every span opened under it (including on detached worker lanes — Detach
+// keeps context values) carries a "req_id" attribute, so one serve request
+// links to the campaign, sim, and diagnose spans it caused. The serving
+// layer pairs this with WithLogger so log lines carry the same field.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the context's request identity, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
 // Attr is one span attribute.
 type Attr struct {
 	Key   string
@@ -112,6 +128,13 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 	o := FromContext(ctx)
 	if o == nil || o.Trace == nil {
 		return ctx, nil
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		// Build a fresh slice: appending to the caller's variadic slice
+		// could share a backing array across sibling spans.
+		withID := make([]Attr, 0, len(attrs)+1)
+		withID = append(withID, attrs...)
+		attrs = append(withID, Attr{Key: "req_id", Value: id})
 	}
 	s := &Span{tr: o.Trace, name: name, start: time.Now(), attrs: attrs}
 	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -151,6 +153,35 @@ func TestTracerConcurrent(t *testing.T) {
 	}
 	if !json.Valid(buf.Bytes()) {
 		t.Fatal("concurrent trace is not valid JSON")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(TracePID, tr.Lane(), "test", "span", 0, 5, nil)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	// A stale partial document must be replaced wholesale, never appended
+	// to or left half-overwritten.
+	if err := os.WriteFile(path, []byte(`{"traceEvents":[{"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteFileAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatalf("atomic write left invalid JSON: %.100s", raw)
+	}
+	// No temp files may linger next to the target.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files in target dir: %v", entries)
 	}
 }
 

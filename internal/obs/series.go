@@ -43,6 +43,33 @@ func (m *Metrics) RuncacheCorrupt(class string) *Counter {
 		"spill entries quarantined after failing their integrity check, by damage class", "class", class)
 }
 
+// RequestSeconds is the end-to-end request latency histogram of the serving
+// path, by route — every endpoint records into it, so /metrics exposes p99
+// per route (Histogram.Quantile reads the same buckets in-process).
+func (m *Metrics) RequestSeconds(route string) *Histogram {
+	return m.Histogram("scaltool_serve_request_seconds",
+		"end-to-end request latency in seconds, by route", LatencyBuckets, "route", route)
+}
+
+// DiagnoseReports counts culprit reports produced by internal/diagnose.
+func (m *Metrics) DiagnoseReports() *Counter {
+	return m.Counter("scaltool_diagnose_reports_total",
+		"scaling-loss diagnosis reports produced")
+}
+
+// DiagnoseLossCycles observes the measured scaling loss of each diagnosis.
+func (m *Metrics) DiagnoseLossCycles() *Histogram {
+	return m.Histogram("scaltool_diagnose_loss_cycles",
+		"measured scaling loss per diagnosis, in cycles", CycleBuckets)
+}
+
+// DiagnoseCache counts /v1/diagnose response-cache lookups, by outcome
+// ("hit" or "miss").
+func (m *Metrics) DiagnoseCache(outcome string) *Counter {
+	return m.Counter("scaltool_serve_diagnose_cache_total",
+		"diagnose response-cache lookups, by outcome", "outcome", outcome)
+}
+
 // AdmittedCycles gauges the predicted simulated cycles of work currently
 // admitted and executing (the server ledger's cycle occupancy).
 func (m *Metrics) AdmittedCycles() *Gauge {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,4 +131,32 @@ func (t *Tracer) WriteFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteFileAtomic writes the trace via a temporary file in the target's
+// directory, fsyncs it, and renames it into place. A reader never observes
+// a truncated or half-written JSON document at path — either the previous
+// complete trace or the new one. This is the flush the daemon's signal
+// handlers use: a SIGTERM arriving mid-write must not destroy the trace a
+// crash investigation depends on.
+func (t *Tracer) WriteFileAtomic(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".trace-*.json.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) //scalvet:ignore best-effort cleanup; no-op after the rename succeeds
+	if err := t.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

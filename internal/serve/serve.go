@@ -32,6 +32,7 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -99,6 +100,7 @@ type Server struct {
 	drain      drainEstimator
 	draining   atomic.Bool
 	inflight   sync.WaitGroup
+	diagCache  responseCache
 
 	mux *http.ServeMux
 
@@ -130,6 +132,7 @@ func New(opts Options) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/diagnose", s.handleDiagnose)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -187,10 +190,7 @@ func (s *Server) countRequest(route string, code int, start time.Time) {
 	}
 	mt.Counter("scaltool_serve_requests_total", "API requests by route and status code",
 		"route", route, "code", strconv.Itoa(code)).Inc()
-	if route == "/v1/analyze" {
-		mt.Histogram("scaltool_serve_request_seconds", "end-to-end /v1/analyze latency",
-			obs.LatencyBuckets).Observe(time.Since(start).Seconds())
-	}
+	mt.RequestSeconds(route).Observe(time.Since(start).Seconds())
 }
 
 // countRejection records a 4xx admission refusal in the rejected-by-status
@@ -229,6 +229,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	mt := s.meter()
 	if mt == nil {
 		http.Error(w, "metrics disabled", http.StatusNotFound)
@@ -237,7 +238,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := mt.WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.countRequest("/metrics", http.StatusInternalServerError, start)
+		return
 	}
+	s.countRequest("/metrics", http.StatusOK, start)
 }
 
 // maxBodyBytes bounds a request document. A plan request is a few hundred
@@ -247,17 +251,47 @@ const maxBodyBytes = 1 << 20
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	code, ecode, err := s.serveAnalyze(w, r, start)
+	rid := requestID(r)
+	w.Header().Set("X-Request-Id", rid)
+	code, ecode, err := s.serveAnalyze(w, r, rid, start)
 	if err != nil {
 		writeError(w, code, ecode, "%s", err)
 	}
 	s.countRequest("/v1/analyze", code, start)
 }
 
-// serveAnalyze handles one analysis request; it reports the response status
-// and, for non-2xx, the machine-readable code and error to send (nil error
-// when the response was already written).
-func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time.Time) (int, string, error) {
+// requestID resolves the request's end-to-end trace identity: a
+// well-formed client-supplied X-Request-Id is honored (so a caller can
+// correlate across services), anything else gets a fresh random one. The
+// ID travels as a response header, an obs span attribute on every span the
+// request produces (serve → campaign → sim → diagnose), and a slog field —
+// never in a response body, which must stay byte-identical for identical
+// documents.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id != "" && len(id) <= 64 {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			c := id[i]
+			if !('0' <= c && c <= '9' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '-' || c == '_') {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r0000000000000000"
+	}
+	return "r" + hex.EncodeToString(b[:])
+}
+
+// decodeRequest decodes and gates one request document, with the shared
+// pre-admission refusals: method, draining, body size, malformed JSON.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, req *Request) (int, string, error) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		return http.StatusMethodNotAllowed, "method", fmt.Errorf("use POST")
@@ -269,10 +303,9 @@ func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time
 		w.Header().Set("Retry-After", s.retryAfter())
 		return http.StatusTooManyRequests, "draining", fmt.Errorf("server is draining")
 	}
-	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.countRejection(http.StatusRequestEntityTooLarge)
@@ -281,6 +314,90 @@ func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time
 		}
 		s.countRejection(http.StatusBadRequest)
 		return http.StatusBadRequest, "malformed", fmt.Errorf("decoding request: %v", err)
+	}
+	return 0, "", nil
+}
+
+// admit walks an estimated request through the server's admission gates —
+// queue slot, cost ledger, in-flight accounting, request deadline, worker
+// slot, in-flight gauge — and returns the execution context plus a release
+// function undoing all of it in LIFO order (exactly the defer order the
+// gates would have as inline defers). On refusal the partial state is
+// already undone and release is nil. rid is the request's trace identity,
+// installed on the context for every span and log line downstream.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost admission.Cost, rid string) (context.Context, func(), int, string, error) {
+	// Admission: a slot in the bounded queue, or immediate shedding. The
+	// queue is not worth waiting for — a client retry later IS the queue.
+	select {
+	case s.admitted <- struct{}{}:
+	default:
+		if mt := s.meter(); mt != nil {
+			mt.ServeShed("queue").Inc()
+		}
+		w.Header().Set("Retry-After", s.retryAfter())
+		return nil, nil, http.StatusTooManyRequests, "overloaded",
+			fmt.Errorf("overloaded: %d analyses executing or queued", cap(s.admitted))
+	}
+	undo := make([]func(), 0, 8)
+	undo = append(undo, func() { <-s.admitted })
+	release := func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
+	}
+
+	// The cost ledger: this request fits its own budget, but does the server
+	// have room for it on top of everything else admitted?
+	if rej := s.ledger.TryAdmit(cost); rej != nil {
+		if mt := s.meter(); mt != nil {
+			mt.ServeShed("ledger").Inc()
+		}
+		w.Header().Set("Retry-After", s.retryAfter())
+		release()
+		return nil, nil, rej.Status, rej.Code, rej
+	}
+	undo = append(undo, func() { s.ledger.Release(cost) })
+	s.publishLedger()
+	undo = append(undo, s.publishLedger)
+
+	s.inflight.Add(1)
+	undo = append(undo, s.inflight.Done)
+	undo = append(undo, func() { s.drain.observe(time.Now()) })
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	undo = append(undo, cancel)
+	ctx = s.obsContext(ctx)
+	if rid != "" {
+		ctx = obs.WithRequestID(ctx, rid)
+		ctx = obs.WithLogger(ctx, obs.Log(ctx).With("req_id", rid))
+	}
+
+	// A worker slot: the analysis itself is CPU-bound, so only Workers of
+	// them may execute at once. Waiting burns the request's own deadline.
+	select {
+	case s.workers <- struct{}{}:
+	case <-ctx.Done():
+		release()
+		return nil, nil, http.StatusServiceUnavailable, "no_worker",
+			fmt.Errorf("timed out waiting for a worker: %v", ctx.Err())
+	}
+	undo = append(undo, func() { <-s.workers })
+
+	if mt := s.meter(); mt != nil {
+		g := mt.Gauge("scaltool_serve_inflight", "analyses currently executing")
+		g.Add(1)
+		undo = append(undo, func() { g.Add(-1) })
+	}
+	return ctx, release, 0, "", nil
+}
+
+// serveAnalyze handles one analysis request; it reports the response status
+// and, for non-2xx, the machine-readable code and error to send (nil error
+// when the response was already written).
+func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, rid string, start time.Time) (int, string, error) {
+	var req Request
+	if code, ecode, err := s.decodeRequest(w, r, &req); err != nil {
+		return code, ecode, err
 	}
 
 	// Validation and admission: semantic checks (422), then predicted cost
@@ -306,81 +423,49 @@ func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, start time
 		return rej.Status, rej.Code, rej
 	}
 
-	// Admission: a slot in the bounded queue, or immediate shedding. The
-	// queue is not worth waiting for — a client retry later IS the queue.
-	select {
-	case s.admitted <- struct{}{}:
-	default:
-		if mt := s.meter(); mt != nil {
-			mt.ServeShed("queue").Inc()
-		}
-		w.Header().Set("Retry-After", s.retryAfter())
-		return http.StatusTooManyRequests, "overloaded",
-			fmt.Errorf("overloaded: %d analyses executing or queued", cap(s.admitted))
+	ctx, release, code, ecode, err := s.admit(w, r, cost, rid)
+	if err != nil {
+		return code, ecode, err
 	}
-	defer func() { <-s.admitted }()
+	defer release()
 
-	// The cost ledger: this request fits its own budget, but does the server
-	// have room for it on top of everything else admitted?
-	if rej := s.ledger.TryAdmit(cost); rej != nil {
-		if mt := s.meter(); mt != nil {
-			mt.ServeShed("ledger").Inc()
-		}
-		w.Header().Set("Retry-After", s.retryAfter())
-		return rej.Status, rej.Code, rej
-	}
-	defer s.ledger.Release(cost)
-	s.publishLedger()
-	defer s.publishLedger()
-
-	s.inflight.Add(1)
-	defer s.inflight.Done()
-	defer func() { s.drain.observe(time.Now()) }()
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
-	defer cancel()
-	ctx = s.obsContext(ctx)
-
-	// A worker slot: the analysis itself is CPU-bound, so only Workers of
-	// them may execute at once. Waiting burns the request's own deadline.
-	select {
-	case s.workers <- struct{}{}:
-	case <-ctx.Done():
-		return http.StatusServiceUnavailable, "no_worker",
-			fmt.Errorf("timed out waiting for a worker: %v", ctx.Err())
-	}
-	defer func() { <-s.workers }()
-
-	if mt := s.meter(); mt != nil {
-		g := mt.Gauge("scaltool_serve_inflight", "analyses currently executing")
-		g.Add(1)
-		defer g.Add(-1)
-	}
 	resp, err := s.analyzeIsolated(ctx, &req, rv, qkey)
 	if err != nil {
-		var pf *panicFault
-		if errors.As(err, &pf) {
-			obs.Log(ctx).Error("analysis panicked", "app", req.Ident(), "panic", pf.value)
-			return http.StatusInternalServerError, "panic",
-				fmt.Errorf("analysis panicked; this request shape is now quarantined")
-		}
-		if ctx.Err() != nil {
-			return http.StatusGatewayTimeout, "deadline",
-				fmt.Errorf("analysis exceeded its %s deadline", s.opts.RequestTimeout)
-		}
-		obs.Log(ctx).Error("analysis failed", "app", req.Ident(), "err", err)
-		return http.StatusInternalServerError, "failed", fmt.Errorf("analysis failed: %v", err)
+		return s.triageExecError(ctx, &req, err)
 	}
 	body, err := encodeResponse(resp)
 	if err != nil {
 		return http.StatusInternalServerError, "failed", fmt.Errorf("encoding response: %v", err)
 	}
+	writeBody(w, body)
+	obs.Log(ctx).Info("analysis served", "app", req.Ident(), "procs", req.Procs, "elapsed", time.Since(start))
+	return http.StatusOK, "", nil
+}
+
+// triageExecError maps an execution failure to the status contract: an
+// isolated panic is a 500 "panic" (the shape is already quarantined), a
+// blown deadline a 504, anything else a 500 "failed".
+func (s *Server) triageExecError(ctx context.Context, req *Request, err error) (int, string, error) {
+	var pf *panicFault
+	if errors.As(err, &pf) {
+		obs.Log(ctx).Error("analysis panicked", "app", req.Ident(), "panic", pf.value)
+		return http.StatusInternalServerError, "panic",
+			fmt.Errorf("analysis panicked; this request shape is now quarantined")
+	}
+	if ctx.Err() != nil {
+		return http.StatusGatewayTimeout, "deadline",
+			fmt.Errorf("analysis exceeded its %s deadline", s.opts.RequestTimeout)
+	}
+	obs.Log(ctx).Error("analysis failed", "app", req.Ident(), "err", err)
+	return http.StatusInternalServerError, "failed", fmt.Errorf("analysis failed: %v", err)
+}
+
+// writeBody sends a fully-built 200 response body.
+func writeBody(w http.ResponseWriter, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
-	obs.Log(ctx).Info("analysis served", "app", req.Ident(), "procs", req.Procs, "elapsed", time.Since(start))
-	return http.StatusOK, "", nil
 }
 
 // panicFault wraps a recovered analysis panic as an error.
@@ -397,16 +482,9 @@ func (p *panicFault) Error() string { return fmt.Sprintf("analysis panicked: %v"
 // *panicFault instead of killing the daemon, counted, and its request shape
 // quarantined so a repeat is refused cheaply with 422.
 func (s *Server) analyzeIsolated(ctx context.Context, req *Request, rv *resolved, qkey string) (resp *Response, err error) {
-	quarantinePanic := func(value any, stack []byte) {
-		if mt := s.meter(); mt != nil {
-			mt.ServePanics().Inc()
-		}
-		s.quarantine.Add(qkey, fmt.Sprintf("panic: %v", value)) //scalvet:ignore runs once per panicking request, off the steady-state path
-		obs.Log(ctx).Error("quarantined panicking request shape", "key", qkey, "panic", value, "stack", string(stack))
-	}
 	defer func() {
 		if r := recover(); r != nil {
-			quarantinePanic(r, debug.Stack())
+			s.quarantinePanic(ctx, qkey, r, debug.Stack())
 			resp, err = nil, &panicFault{value: r, stack: debug.Stack()}
 		}
 	}()
@@ -423,10 +501,20 @@ func (s *Server) analyzeIsolated(ctx context.Context, req *Request, rv *resolved
 	var pe interface{ PanicValue() (any, []byte) }
 	if errors.As(err, &pe) {
 		v, stack := pe.PanicValue()
-		quarantinePanic(v, stack)
+		s.quarantinePanic(ctx, qkey, v, stack)
 		return nil, &panicFault{value: v, stack: stack}
 	}
 	return resp, err
+}
+
+// quarantinePanic counts an isolated panic and quarantines its request
+// shape so a repeat is refused cheaply with 422.
+func (s *Server) quarantinePanic(ctx context.Context, qkey string, value any, stack []byte) {
+	if mt := s.meter(); mt != nil {
+		mt.ServePanics().Inc()
+	}
+	s.quarantine.Add(qkey, fmt.Sprintf("panic: %v", value)) //scalvet:ignore runs once per panicking request, off the steady-state path
+	obs.Log(ctx).Error("quarantined panicking request shape", "key", qkey, "panic", value, "stack", string(stack))
 }
 
 // requestKey is the quarantine identity of a request: a digest of its

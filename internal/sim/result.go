@@ -116,6 +116,38 @@ func (r *Result) SegmentReport(substr string) (*counters.RunReport, error) {
 	return &out, nil
 }
 
+// AggregateRegions merges the run's region attribution by name, in
+// first-appearance order, keeping the per-processor split (summed
+// element-wise across a name's instances). This is the attribution export
+// internal/diagnose overlays across a campaign's processor sweep: unlike
+// RegionSummary it preserves PerProc, so a straggler processor stays
+// identifiable after aggregation. For every name the merged Busy+Sync+Imb
+// still tiles the sum of its instances' elapsed cycles.
+func (r *Result) AggregateRegions() []RegionAttribution {
+	idx := make(map[string]int, len(r.Ground.Regions))
+	out := make([]RegionAttribution, 0, len(r.Ground.Regions))
+	for _, reg := range r.Ground.Regions {
+		i, ok := idx[reg.Name]
+		if !ok {
+			i = len(out)
+			idx[reg.Name] = i
+			out = append(out, RegionAttribution{Name: reg.Name, PerProc: make([]ProcPhases, r.Procs)}) //scalvet:ignore retained result: one per distinct region name, returned to the caller
+		}
+		out[i].Busy += reg.Busy
+		out[i].Sync += reg.Sync
+		out[i].Imb += reg.Imb
+		for p, ph := range reg.PerProc {
+			if p >= len(out[i].PerProc) {
+				break
+			}
+			out[i].PerProc[p].Busy += ph.Busy
+			out[i].PerProc[p].Sync += ph.Sync
+			out[i].PerProc[p].Imb += ph.Imb
+		}
+	}
+	return out
+}
+
 // Segments lists the distinct region names of the run, in first-appearance
 // order.
 func (r *Result) Segments() []string {

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scaltool/internal/obs"
+)
+
+// goldenResult is a small hand-built attribution whose timeline export is
+// pinned byte-for-byte. It exercises the interesting encoder paths: a
+// multi-region multi-processor run, a short lane (untracked pad), a negative
+// phase (dropped), and a per-proc-free aggregated region (skipped).
+func goldenResult() *Result {
+	return &Result{
+		Procs:      2,
+		WallCycles: 195,
+		Ground: GroundTruth{
+			Regions: []RegionAttribution{
+				{
+					Name: "init",
+					PerProc: []ProcPhases{
+						{Busy: 70, Imb: 10, Sync: 20},
+						{Busy: 50, Imb: 0, Sync: 10}, // short lane → untracked pad
+					},
+				},
+				{
+					Name: "solve",
+					PerProc: []ProcPhases{
+						{Busy: 60, Imb: 20, Sync: -15}, // negative phase → dropped
+						{Busy: 40, Imb: 30, Sync: 25},
+					},
+				},
+				{Name: "aggregated"}, // no per-proc split → no slices
+			},
+		},
+	}
+}
+
+// TestAppendTimelineGolden locks the trace_event JSON AppendTimeline emits.
+// Downstream consumers — chrome://tracing, Perfetto, and scripts parsing
+// -trace-out files — depend on these exact field names, process/thread
+// layout, and the 1-cycle-=-1-µs convention; any change here is a format
+// break and must be deliberate. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/sim/ -run TestAppendTimelineGolden
+func TestAppendTimelineGolden(t *testing.T) {
+	tr := obs.NewTracer()
+	AppendTimeline(tr, goldenResult(), "golden_p02")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "timeline_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("timeline JSON drifted from golden (UPDATE_GOLDEN=1 to accept):\ngot:  %s\nwant: %s", got, want)
+	}
+}

@@ -35,8 +35,11 @@ echo "==> fuzz smoke gate (committed seed corpora + 10s of new coverage per targ
 go test -run '^$' -fuzz FuzzProgramAdmission -fuzztime 10s ./internal/admission/
 go test -run '^$' -fuzz FuzzAnalyzeRequest -fuzztime 10s ./internal/serve/
 
-echo "==> serving e2e (scaltoold: bind, concurrent cached analyses, SIGTERM drain; budget flags)"
-go test -run 'TestScaltooldServeE2E|TestScaltooldBudgetFlags' ./cmd/scaltoold/
+echo "==> serving e2e (scaltoold: bind, concurrent cached analyses, SIGTERM drain; budget flags; atomic trace flush)"
+go test -run 'TestScaltooldServeE2E|TestScaltooldBudgetFlags|TestScaltooldTraceFlush' ./cmd/scaltoold/
+
+echo "==> diagnosis e2e gate (/v1/diagnose: deterministic ranked culprits tiling the scaling loss, under the race detector)"
+go test -run 'TestDiagnose' -race ./internal/diagnose/... ./internal/serve/...
 
 echo "==> scalvet self-host (the analyzer and its driver hold themselves to zero findings)"
 go run ./cmd/scalvet ./internal/analysis/... ./cmd/scalvet
