@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScalloadStubSmoke runs a miniature stub-mode campaign end to end and
+// checks the report's shape: one point per fleet size, positive throughput,
+// a USL fit, and the host's core count recorded next to it. verify.sh runs
+// this as the scalload smoke gate.
+func TestScalloadStubSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-mode", "stub",
+		"-fleet", "1,2",
+		"-duration", "400ms",
+		"-service", "10ms",
+		"-stub-workers", "4",
+		"-stub-clients", "8",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, blob)
+	}
+	if rep.HostCPUs < 1 {
+		t.Fatalf("host_cpus = %d", rep.HostCPUs)
+	}
+	s, ok := rep.Series["stub"]
+	if !ok {
+		t.Fatalf("no stub series in report:\n%s", blob)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %+v, want 2 fleet sizes", s.Points)
+	}
+	for _, p := range s.Points {
+		if p.Throughput <= 0 {
+			t.Fatalf("n=%d throughput %v, want > 0", p.N, p.Throughput)
+		}
+	}
+	if s.Fit == nil {
+		t.Fatalf("no USL fit (error: %s)", s.FitError)
+	}
+	if s.Fit.X1 <= 0 {
+		t.Fatalf("fit X1 = %v, want > 0", s.Fit.X1)
+	}
+}
+
+// TestScalloadSimSmoke drives one real-analysis point through the full
+// router → serve → campaign → sim pipeline. Single fleet size: the point is
+// that real analyses flow and are counted, not the shape of the curve (a
+// one-point series deliberately yields a fit error, which the report keeps).
+func TestScalloadSimSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real analyses")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-mode", "sim",
+		"-fleet", "1",
+		"-duration", "1s",
+		"-sim-workers", "2",
+		"-sim-clients", "2",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, blob)
+	}
+	s := rep.Series["sim"]
+	if len(s.Points) != 1 || s.Points[0].Throughput <= 0 {
+		t.Fatalf("sim points = %+v, want one positive-throughput point", s.Points)
+	}
+	if s.Fit != nil {
+		t.Fatal("a one-point series must not produce a fit")
+	}
+	if s.FitError == "" {
+		t.Fatal("fit error should be recorded for a one-point series")
+	}
+}
+
+// TestScalloadFlagValidation rejects nonsense fleets and modes.
+func TestScalloadFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fleet", "0"},
+		{"-fleet", "x"},
+		{"-fleet", ""},
+		{"-mode", "imaginary"},
+		{"-duration", "0s"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("args %v: exit %d, want 1; stderr:\n%s", args, code, stderr.String())
+		}
+	}
+}

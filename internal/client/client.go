@@ -20,12 +20,19 @@
 //     cooldown one probe request is allowed through (half-open): success
 //     closes the circuit, failure re-opens it. 4xx refusals never trip the
 //     breaker — they mean the server is healthy and rejecting *this*
-//     document.
+//     document. The breaker is exported (Breaker) so other tiers — the
+//     fleet router keeps one per replica — share the same state machine.
+//
+// Every call carries an X-Request-Id: the caller's (WithRequestID) or a
+// fresh one, held constant across retries so a request that fails over to
+// a second replica stitches into one trace on both ends.
 package client
 
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -64,7 +71,7 @@ type Client struct {
 	base string
 	opts Options
 
-	breaker breaker
+	breaker *Breaker
 
 	// Test seams: fake time and deterministic jitter.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -99,7 +106,7 @@ func New(baseURL string, opts Options) *Client {
 		now:  time.Now,
 		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	c.breaker = breaker{threshold: opts.FailureThreshold, cooldown: opts.Cooldown}
+	c.breaker = NewBreaker(opts.FailureThreshold, opts.Cooldown)
 	c.sleep = func(ctx context.Context, d time.Duration) error {
 		t := time.NewTimer(d)
 		defer t.Stop()
@@ -136,6 +143,37 @@ func (e *APIError) Temporary() bool {
 // has failed hard repeatedly and the client is in cooldown, failing fast.
 var ErrCircuitOpen = errors.New("client: circuit open: scaltoold failing, cooling down")
 
+// ridKey carries an explicit request id in a context.
+type ridKey struct{}
+
+// WithRequestID returns a context whose calls carry id as their
+// X-Request-Id instead of a generated one — how a front tier threads one
+// trace identity through every hop it makes on a request's behalf.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// NewRequestID returns a fresh random request id in the same alphabet the
+// server accepts (see serve's X-Request-Id contract).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "c0000000000000000"
+	}
+	return "c" + hex.EncodeToString(b[:])
+}
+
+// requestID resolves the trace identity for one Analyze call: the
+// context's explicit id, or a fresh one. Resolved once per call — every
+// retry attempt reuses it, so a failover to a second replica is visibly
+// the same request in both replicas' traces.
+func requestID(ctx context.Context) string {
+	if id, ok := ctx.Value(ridKey{}).(string); ok && id != "" {
+		return id
+	}
+	return NewRequestID()
+}
+
 // Analyze posts one analysis request, retrying transient refusals with
 // backoff + jitter and honoring the server's Retry-After hints.
 func (c *Client) Analyze(ctx context.Context, req *serve.Request) (*serve.Response, error) {
@@ -143,14 +181,15 @@ func (c *Client) Analyze(ctx context.Context, req *serve.Request) (*serve.Respon
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
+	rid := requestID(ctx)
 	var last error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
-		if err := c.breaker.allow(c.now()); err != nil {
+		if err := c.breaker.Allow(c.now()); err != nil {
 			return nil, err
 		}
-		resp, err := c.once(ctx, body)
+		resp, err := c.once(ctx, body, rid)
 		if err == nil {
-			c.breaker.onSuccess()
+			c.breaker.OnSuccess()
 			return resp, nil
 		}
 		last = err
@@ -159,9 +198,9 @@ func (c *Client) Analyze(ctx context.Context, req *serve.Request) (*serve.Respon
 		// Hard failures — transport errors and 5xx — feed the breaker;
 		// 4xx means the server is healthy and judging the document.
 		if !isAPI || apiErr.Status >= 500 {
-			c.breaker.onFailure(c.now())
+			c.breaker.OnFailure(c.now())
 		} else {
-			c.breaker.onSuccess()
+			c.breaker.OnSuccess()
 		}
 		if !retryable(err) || attempt+1 >= c.opts.MaxAttempts {
 			return nil, err
@@ -196,12 +235,13 @@ func (c *Client) Healthz(ctx context.Context) error {
 }
 
 // once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, body []byte) (*serve.Response, error) {
+func (c *Client) once(ctx context.Context, body []byte, rid string) (*serve.Response, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/analyze", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-Id", rid)
 	hresp, err := c.opts.HTTP.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -269,8 +309,12 @@ func parseRetryAfter(v string) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// breaker is a consecutive-failure circuit breaker.
-type breaker struct {
+// Breaker is a consecutive-failure circuit breaker: the state machine the
+// Client wraps around one server, exported so a routing tier can keep one
+// per replica. Every Allow that returns nil must be matched by exactly one
+// OnSuccess or OnFailure for the attempt it admitted — the half-open probe
+// slot is reserved by Allow and released only by that report.
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 
@@ -281,9 +325,23 @@ type breaker struct {
 	probing  bool
 }
 
-// allow admits a call, fails fast while open, and admits exactly one probe
-// per cooldown window once it has elapsed.
-func (b *breaker) allow(now time.Time) error {
+// NewBreaker builds a breaker that opens after threshold consecutive hard
+// failures and half-opens after cooldown (non-positive arguments select the
+// Client defaults: 5 failures, 15s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 15 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow admits a call, fails fast with ErrCircuitOpen while open, and
+// admits exactly one probe per cooldown window once it has elapsed — under
+// concurrency, one caller wins the probe slot and the rest fail fast.
+func (b *Breaker) Allow(now time.Time) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.open {
@@ -296,7 +354,9 @@ func (b *breaker) allow(now time.Time) error {
 	return nil
 }
 
-func (b *breaker) onSuccess() {
+// OnSuccess reports a successful attempt: the circuit closes and the
+// failure count resets.
+func (b *Breaker) OnSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failures = 0
@@ -304,7 +364,9 @@ func (b *breaker) onSuccess() {
 	b.probing = false
 }
 
-func (b *breaker) onFailure(now time.Time) {
+// OnFailure reports a hard failure. A failed half-open probe re-opens the
+// circuit for a fresh cooldown; threshold consecutive failures open it.
+func (b *Breaker) OnFailure(now time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.probing {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -114,7 +115,7 @@ func TestSemanticRejectionIsFinal(t *testing.T) {
 	if calls.Load() != 1 || len(*slept) != 0 {
 		t.Fatalf("semantic rejection retried: calls=%d sleeps=%d", calls.Load(), len(*slept))
 	}
-	if err := c.breaker.allow(c.now()); err != nil {
+	if err := c.breaker.Allow(c.now()); err != nil {
 		t.Fatalf("422 tripped the breaker: %v", err)
 	}
 }
@@ -283,5 +284,106 @@ func TestEndToEndAgainstServe(t *testing.T) {
 	}
 	if apiErr.RetryAfter <= 0 {
 		t.Fatalf("draining 429 carried no Retry-After: %+v", apiErr)
+	}
+}
+
+// TestHalfOpenProbeRace: with the circuit open and the cooldown elapsed,
+// concurrent callers race for the half-open slot — exactly one escapes as
+// the probe, every loser fails fast with ErrCircuitOpen. Run under -race:
+// the breaker's mutex is the only thing standing between "one probe" and a
+// thundering herd onto a server that just fell over.
+func TestHalfOpenProbeRace(t *testing.T) {
+	b := NewBreaker(1, 10*time.Second)
+	now := time.Unix(1000, 0)
+	b.OnFailure(now) // threshold 1: open immediately
+	if err := b.Allow(now.Add(time.Second)); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit admitted a call inside the cooldown: %v", err)
+	}
+
+	after := now.Add(11 * time.Second)
+	const callers = 64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := b.Allow(after); err == nil {
+				admitted.Add(1)
+			} else if !errors.Is(err, ErrCircuitOpen) {
+				t.Errorf("loser got %v, want ErrCircuitOpen", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d probes escaped the half-open circuit, want exactly 1", got)
+	}
+
+	// The probe's failure re-opens; its success closes for everyone.
+	b.OnFailure(after)
+	if err := b.Allow(after.Add(time.Second)); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("failed probe did not re-open the circuit: %v", err)
+	}
+	if err := b.Allow(after.Add(12 * time.Second)); err != nil {
+		t.Fatalf("second cooldown refused its probe: %v", err)
+	}
+	b.OnSuccess()
+	for i := 0; i < 4; i++ {
+		if err := b.Allow(after.Add(13 * time.Second)); err != nil {
+			t.Fatalf("closed circuit refused call %d: %v", i, err)
+		}
+	}
+}
+
+// TestRequestIDPropagation: every attempt of one Analyze call carries the
+// same generated X-Request-Id (so a retry — or a failover hop to a second
+// replica — stitches into one trace), and WithRequestID overrides it.
+func TestRequestIDPropagation(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get("X-Request-Id"))
+		mu.Unlock()
+		if calls.Add(1) == 1 {
+			w.WriteHeader(429)
+			fmt.Fprint(w, `{"error":"overloaded","code":"overloaded"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, okBody)
+	}))
+	t.Cleanup(ts.Close)
+	c, _ := fastClient(ts, Options{})
+	if _, err := c.Analyze(context.Background(), analyzeReq()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(seen))
+	}
+	if seen[0] == "" || seen[0] != seen[1] {
+		t.Fatalf("request id did not survive the retry: %q then %q", seen[0], seen[1])
+	}
+
+	calls.Store(0)
+	seen = seen[:0]
+	mu.Unlock()
+	ctx := WithRequestID(context.Background(), "trace-abc-123")
+	_, err := c.Analyze(ctx, analyzeReq())
+	mu.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range seen {
+		if id != "trace-abc-123" {
+			t.Fatalf("attempt %d carried %q, want the explicit id", i, id)
+		}
 	}
 }

@@ -1,0 +1,226 @@
+// Package fleet turns N scaltoold replicas into one fault-tolerant analysis
+// service — the scale-out tier of the ROADMAP's "millions of users" north
+// star, and the system the repo then measures with its own scalability law
+// (usl.go).
+//
+// The pieces, bottom up:
+//
+//   - Router: an HTTP front tier for /v1/analyze and /v1/diagnose. Requests
+//     are placed by rendezvous hashing on the content-addressed runcache
+//     key (serve.RoutingKey), so an identical document always lands on the
+//     replica whose memory tier is warm for it. Each replica carries a
+//     health verdict (prober.go) and a circuit breaker (the client
+//     package's Breaker, one per replica); a refused, unreachable, or
+//     breaker-open replica fails over to the next in hash order, and an
+//     optional hedge races a second replica when the first is slow. The
+//     simulator is deterministic, so every forwarded request is idempotent
+//     and byte-identical across replicas — failover and hedging can never
+//     change an answer, only deliver it.
+//
+//   - Supervisor: keeps N replica slots alive. Each slot watches its
+//     instance's exit and probes its health on a heartbeat (the same
+//     watchdog shape as campaign's worker supervisor); a dead or hung
+//     replica is killed and respawned with backoff, and the router learns
+//     the replacement's URL through SetReplicaURL.
+//
+//   - Handles: LocalReplica runs a real serve.Server in-process (the load
+//     harness's and chaos tests' replica; Kill severs in-flight
+//     connections exactly like a SIGKILL), ExecReplica supervises a real
+//     scaltoold child process, and StartStub emulates a replica's service
+//     demand without burning CPU (how the routing tier is measured on a
+//     host that cannot give every replica its own cores).
+//
+// The router mirrors internal/serve's shutdown contract: Drain flips
+// /v1/healthz to 503, refuses new work with a retryable 429, and waits for
+// in-flight forwards to finish.
+package fleet
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaltool/internal/client"
+	"scaltool/internal/obs"
+)
+
+// Replica names one backend of the fleet. Name is the stable rendezvous
+// identity — it must survive restarts (the replacement instance inherits
+// the dead one's cache-key ownership); URL is where the current instance
+// listens, and changes on every restart.
+type Replica struct {
+	Name string
+	URL  string
+}
+
+// Options configures a Router. The zero value of every field selects a
+// sensible default.
+type Options struct {
+	// Replicas is the initial fleet membership. More can join later via
+	// SetReplicaURL (the supervisor's restart path).
+	Replicas []Replica
+	// HTTP is the transport used for forwards and probes (nil = a client
+	// with sane connection pooling).
+	HTTP *http.Client
+	// ProbeInterval is the health-probe period (0 = 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (0 = ProbeInterval, capped at 2s).
+	ProbeTimeout time.Duration
+	// FailureThreshold is how many consecutive hard failures open a
+	// replica's circuit breaker (0 = 3).
+	FailureThreshold int
+	// Cooldown is the open breaker's wait before its half-open probe
+	// (0 = 5s — shorter than the client default: the router sits in front
+	// of a supervisor that restarts replicas in well under 15s).
+	Cooldown time.Duration
+	// ForwardTimeout bounds one forwarded attempt (0 = 90s: a shade over
+	// the replica's own 60s request deadline, so the replica's 504 wins).
+	ForwardTimeout time.Duration
+	// HedgeAfter, when positive, races a second replica if the first has
+	// not answered within this long — tail-latency insurance that is safe
+	// because analyses are deterministic and idempotent.
+	HedgeAfter time.Duration
+	// Obs instruments the router (scaltool_fleet_* metrics). May be nil.
+	Obs *obs.Observer
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.HTTP == nil {
+		// The default transport keeps only 2 idle conns per host — under a
+		// load burst every extra concurrent forward would pay a fresh TCP
+		// handshake to the same replica. Pool generously; replicas are few.
+		out.HTTP = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 500 * time.Millisecond
+	}
+	if out.ProbeTimeout <= 0 {
+		out.ProbeTimeout = out.ProbeInterval
+		if out.ProbeTimeout > 2*time.Second {
+			out.ProbeTimeout = 2 * time.Second
+		}
+	}
+	if out.FailureThreshold <= 0 {
+		out.FailureThreshold = 3
+	}
+	if out.Cooldown <= 0 {
+		out.Cooldown = 5 * time.Second
+	}
+	if out.ForwardTimeout <= 0 {
+		out.ForwardTimeout = 90 * time.Second
+	}
+	return out
+}
+
+// member is one replica's live state inside the router.
+type member struct {
+	name    string
+	url     atomic.Value // string; "" while the slot has no instance
+	up      atomic.Bool  // last health-probe verdict
+	breaker *client.Breaker
+}
+
+func (m *member) currentURL() string {
+	if u, ok := m.url.Load().(string); ok {
+		return u
+	}
+	return ""
+}
+
+// Router is the fleet's front tier. Create with NewRouter; safe for
+// concurrent use.
+type Router struct {
+	opts Options
+
+	mu      sync.RWMutex
+	members []*member
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	mux      *http.ServeMux
+}
+
+// NewRouter builds a Router over the given replicas. Call StartProber to
+// begin health probing; without it every replica is assumed healthy and
+// failover still works through the breakers.
+func NewRouter(opts Options) *Router {
+	rt := &Router{opts: opts.withDefaults()}
+	for _, r := range rt.opts.Replicas {
+		rt.addMember(r.Name, r.URL)
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/v1/analyze", rt.handleProxy)
+	rt.mux.HandleFunc("/v1/diagnose", rt.handleProxy)
+	rt.mux.HandleFunc("/v1/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	return rt
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+func (rt *Router) addMember(name, url string) *member {
+	m := &member{name: name, breaker: client.NewBreaker(rt.opts.FailureThreshold, rt.opts.Cooldown)}
+	m.url.Store(url)
+	m.up.Store(true)
+	rt.mu.Lock()
+	rt.members = append(rt.members, m)
+	rt.mu.Unlock()
+	return m
+}
+
+// SetReplicaURL rebinds a replica name to a new instance URL — the
+// supervisor calls this after every restart. An empty URL marks the slot
+// instanceless (requests skip it until the replacement arrives). A fresh
+// URL resets the breaker and health verdict: the new instance has not
+// earned the old one's failures.
+func (rt *Router) SetReplicaURL(name, url string) {
+	rt.mu.RLock()
+	var m *member
+	for _, cand := range rt.members {
+		if cand.name == name {
+			m = cand
+			break
+		}
+	}
+	rt.mu.RUnlock()
+	if m == nil {
+		if url == "" {
+			return
+		}
+		rt.addMember(name, url)
+		return
+	}
+	m.url.Store(url)
+	if url == "" {
+		m.up.Store(false)
+		return
+	}
+	m.up.Store(true)
+	m.breaker.OnSuccess()
+	if mt := rt.meter(); mt != nil {
+		mt.Gauge("scaltool_fleet_replica_up", "1 while the replica answers health probes", "replica", name).Set(1)
+	}
+}
+
+// snapshot returns the current membership.
+func (rt *Router) snapshot() []*member {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*member, len(rt.members))
+	copy(out, rt.members)
+	return out
+}
+
+func (rt *Router) meter() *obs.Metrics {
+	if rt.opts.Obs == nil {
+		return nil
+	}
+	return rt.opts.Obs.Metrics
+}

@@ -1,0 +1,404 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"scaltool/internal/client"
+	"scaltool/internal/serve"
+)
+
+// The forward path. One client request becomes a sequence (or, with
+// hedging, a small race) of attempts against the key's rendezvous order.
+// Every attempt's outcome is classified into exactly one of:
+//
+//	final    — the replica answered with a verdict the client should see:
+//	           200, any 4xx, a replica-side 500 or 504. These are
+//	           deterministic (the same document gets the same verdict on
+//	           every replica), so failing over would only burn a second
+//	           replica's time to learn the same thing.
+//	refusal  — the replica declined retryably: 429 (draining/overloaded)
+//	           or 503 (no worker). Another replica may well accept; fail
+//	           over, but keep the refusal as the answer of last resort so
+//	           the client sees a retryable status, not a synthetic error.
+//	failure  — the replica is unreachable, hung past ForwardTimeout, or
+//	           reset the connection (a SIGKILL mid-request). Feed the
+//	           breaker, mark it down, fail over.
+//
+// Only failures count against a replica's breaker. A refusal is the
+// replica protecting itself while healthy — punishing it would open
+// breakers during load spikes, exactly when capacity matters most. And an
+// attempt canceled because a hedge sibling already won is neutral by
+// construction: the replica did nothing wrong, so it must not inherit the
+// cancellation as a failure (that would let a slow-but-healthy replica's
+// breaker open purely because a faster peer exists).
+
+// maxResponseBytes bounds a replica response body. Analysis responses are
+// tens of kilobytes; even a full 32-proc diagnose report is far under a
+// megabyte. 64 MiB is pure insurance against a confused replica.
+const maxResponseBytes = 64 << 20
+
+// attemptResult is one replica attempt's classified outcome.
+type attemptResult struct {
+	final   bool // verdict for the client (includes deterministic errors)
+	refusal bool // retryable refusal (429/503) — fallback answer only
+	status  int
+	header  http.Header
+	body    []byte
+	replica string
+	err     error // set iff transport-level failure
+}
+
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	route := r.URL.Path
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, http.StatusMethodNotAllowed, "method", "use POST")
+		rt.countRequest(route, http.StatusMethodNotAllowed, start)
+		return
+	}
+	rid := requestID(r)
+	w.Header().Set("X-Request-Id", rid)
+	if rt.draining.Load() {
+		w.Header().Set("Retry-After", "2")
+		writeJSONError(w, http.StatusTooManyRequests, "draining", "router is draining")
+		rt.countRequest(route, http.StatusTooManyRequests, start)
+		return
+	}
+	rt.inflight.Add(1)
+	defer rt.inflight.Done()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds "+strconv.FormatInt(tooBig.Limit, 10)+" bytes")
+			rt.countRequest(route, http.StatusRequestEntityTooLarge, start)
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, "malformed", "reading request body")
+		rt.countRequest(route, http.StatusBadRequest, start)
+		return
+	}
+
+	key := routingKeyFor(body)
+	res := rt.forward(r.Context(), route, key, rid, body)
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if res.replica != "" {
+		w.Header().Set("X-Fleet-Replica", res.replica)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+	rt.countRequest(route, res.status, start)
+}
+
+// routingKeyFor computes a request's placement key. The document is decoded
+// leniently (unknown fields and schema violations are the REPLICA's call to
+// refuse — the router only needs a stable identity), and resolvable
+// documents map to the runcache content address via serve.RoutingKey. A
+// document that does not even parse hashes as raw bytes: still
+// deterministic, and the replica's 400 comes back cached-hot on repeats.
+func routingKeyFor(body []byte) string {
+	var req serve.Request
+	if err := json.Unmarshal(body, &req); err == nil {
+		return serve.RoutingKey(&req)
+	}
+	sum := sha256.Sum256(body)
+	return "raw:" + hex.EncodeToString(sum[:8])
+}
+
+// requestID mirrors the replica's X-Request-Id contract: honor a
+// well-formed client ID, otherwise mint one. The same ID is forwarded on
+// every attempt, so a failover or hedge shows up in replica logs as one
+// request identity hopping replicas — exactly what an incident needs.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id != "" && len(id) <= 64 {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			c := id[i]
+			if !('0' <= c && c <= '9' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '-' || c == '_') {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	return client.NewRequestID()
+}
+
+// forward drives the attempt sequence for one request and returns the
+// response to relay. It never returns a zero attemptResult.
+func (rt *Router) forward(ctx context.Context, route, key, rid string, body []byte) attemptResult {
+	order := rank(rt.snapshot(), key)
+	if len(order) == 0 {
+		return noReplicaResult()
+	}
+
+	attemptCtx, cancelAll := context.WithCancel(ctx)
+	results := make(chan attemptResult, len(order))
+	var wg sync.WaitGroup
+	// LIFO: cancelAll fires first, so losing attempts abort promptly and
+	// wg.Wait only reaps them — never rides out their full timeouts.
+	defer wg.Wait()
+	defer cancelAll()
+
+	next := 0    // index of the next candidate to try
+	pending := 0 // attempts in flight
+	// launch starts the next eligible candidate, skipping instanceless
+	// slots and open breakers (both are known-useless without a network
+	// round trip). Reports whether an attempt was started.
+	launch := func() bool {
+		for next < len(order) {
+			m := order[next]
+			next++
+			url := m.currentURL()
+			if url == "" {
+				continue
+			}
+			if err := m.breaker.Allow(time.Now()); err != nil {
+				continue
+			}
+			pending++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := rt.attempt(attemptCtx, m, url, route, rid, body)
+				select {
+				case results <- res:
+				case <-attemptCtx.Done():
+				}
+			}()
+			return true
+		}
+		return false
+	}
+
+	if !launch() {
+		return noReplicaResult()
+	}
+
+	var hedgeTimer *time.Timer
+	var hedgeCh <-chan time.Time
+	if rt.opts.HedgeAfter > 0 {
+		hedgeTimer = time.NewTimer(rt.opts.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeCh = hedgeTimer.C
+	}
+
+	var lastRefusal *attemptResult
+	for pending > 0 {
+		select {
+		case <-ctx.Done():
+			return attemptResult{
+				final:  true,
+				status: http.StatusServiceUnavailable,
+				header: errHeader(""),
+				body:   errBody("client canceled or router shutting down", "canceled"),
+			}
+		case <-hedgeCh:
+			// One hedge per request: after HedgeAfter with no verdict, race
+			// the next candidate against the slow one.
+			hedgeCh = nil
+			if launch() {
+				rt.count("scaltool_fleet_hedges_total", "hedged attempts launched")
+			}
+		case res := <-results:
+			pending--
+			if res.final {
+				return res
+			}
+			if res.refusal {
+				lastRefusal = &res
+			}
+			if pending == 0 && !launch() {
+				// Candidates exhausted.
+				if lastRefusal != nil {
+					return *lastRefusal
+				}
+				return noReplicaResult()
+			}
+			if res.err != nil {
+				rt.count("scaltool_fleet_failovers_total", "attempts failed over to the next replica")
+			}
+		}
+	}
+	if lastRefusal != nil {
+		return *lastRefusal
+	}
+	return noReplicaResult()
+}
+
+// attempt forwards the request to one replica and classifies the outcome.
+func (rt *Router) attempt(ctx context.Context, m *member, url, route, rid string, body []byte) attemptResult {
+	actx, cancel := context.WithTimeout(ctx, rt.opts.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url+route, bytes.NewReader(body))
+	if err != nil {
+		return rt.attemptFailed(m, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", rid)
+	resp, err := rt.opts.HTTP.Do(req)
+	if err != nil {
+		// A cancellation from the parent (hedge sibling won, or the client
+		// hung up) is not the replica's fault: report neutral so the
+		// breaker's half-open probe flag is not stranded and no failure is
+		// charged. A blown ForwardTimeout — actx expired while ctx is
+		// still live — IS the replica's fault (hung or wedged).
+		if ctx.Err() != nil {
+			m.breaker.OnSuccess()
+			return attemptResult{replica: m.name, err: err}
+		}
+		return rt.attemptFailed(m, err)
+	}
+	defer resp.Body.Close()
+	rbody, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		if ctx.Err() != nil {
+			m.breaker.OnSuccess()
+			return attemptResult{replica: m.name, err: err}
+		}
+		return rt.attemptFailed(m, err)
+	}
+
+	res := attemptResult{status: resp.StatusCode, header: resp.Header, body: rbody, replica: m.name}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// The replica is healthy but refusing work — retryable elsewhere.
+		m.breaker.OnSuccess()
+		res.refusal = true
+		rt.countAttempt(m.name, "refused")
+	default:
+		// Everything else — 200, 4xx, 500, 504 — is a deterministic
+		// verdict; retrying on a peer would reproduce it.
+		m.breaker.OnSuccess()
+		res.final = true
+		rt.countAttempt(m.name, "ok")
+	}
+	return res
+}
+
+// attemptFailed records a hard replica failure: breaker fed, health verdict
+// dropped (the prober or a restart will restore it).
+func (rt *Router) attemptFailed(m *member, err error) attemptResult {
+	m.breaker.OnFailure(time.Now())
+	m.up.Store(false)
+	rt.countAttempt(m.name, "failed")
+	return attemptResult{replica: m.name, err: err}
+}
+
+func noReplicaResult() attemptResult {
+	h := errHeader("3")
+	return attemptResult{
+		final:  true,
+		status: http.StatusServiceUnavailable,
+		header: h,
+		body:   errBody("no replica available", "no_replica"),
+	}
+}
+
+func errHeader(retryAfter string) http.Header {
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	if retryAfter != "" {
+		h.Set("Retry-After", retryAfter)
+	}
+	return h
+}
+
+// errBody renders the service's uniform {"error","code"} JSON error shape.
+func errBody(msg, code string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg, "code": code})
+	return append(b, '\n')
+}
+
+func writeJSONError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(errBody(msg, code))
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mt := rt.meter()
+	if mt == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := mt.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Drain mirrors the replica shutdown contract at the router tier: healthz
+// flips to 503, new requests get a retryable 429, and Drain blocks until
+// every in-flight forward completes or ctx expires. Safe to call twice.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.draining.Store(true)
+	if mt := rt.meter(); mt != nil {
+		mt.Gauge("scaltool_fleet_draining", "1 while the router is draining for shutdown").Set(1)
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleet: drain: %w", ctx.Err())
+	}
+}
+
+func (rt *Router) countRequest(route string, code int, start time.Time) {
+	mt := rt.meter()
+	if mt == nil {
+		return
+	}
+	mt.Counter("scaltool_fleet_requests_total", "router requests by route and status code",
+		"route", route, "code", strconv.Itoa(code)).Inc()
+	mt.RequestSeconds("fleet" + route).Observe(time.Since(start).Seconds())
+}
+
+func (rt *Router) countAttempt(replica, outcome string) {
+	if mt := rt.meter(); mt != nil {
+		mt.Counter("scaltool_fleet_attempts_total", "replica attempts by outcome",
+			"replica", replica, "outcome", outcome).Inc()
+	}
+}
+
+func (rt *Router) count(name, help string) {
+	if mt := rt.meter(); mt != nil {
+		mt.Counter(name, help).Inc()
+	}
+}

@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testContext returns a context bounded well under the test deadline.
+func testContext(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+// fakeHandle is a scriptable Handle for supervisor tests.
+type fakeHandle struct {
+	url     string
+	done    chan struct{}
+	once    sync.Once
+	healthy atomic.Bool
+	ts      *httptest.Server
+}
+
+func newFakeHandle() *fakeHandle {
+	h := &fakeHandle{done: make(chan struct{})}
+	h.healthy.Store(true)
+	h.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h.healthy.Load() {
+			fmt.Fprintln(w, `{"status":"ok"}`)
+			return
+		}
+		// A hung replica: the probe times out rather than erroring.
+		select {
+		case <-h.done:
+		case <-r.Context().Done():
+		}
+	}))
+	h.url = h.ts.URL
+	return h
+}
+
+func (h *fakeHandle) URL() string           { return h.url }
+func (h *fakeHandle) Done() <-chan struct{} { return h.done }
+func (h *fakeHandle) Kill() {
+	h.once.Do(func() {
+		close(h.done)
+		go h.ts.Close()
+	})
+}
+
+// TestSupervisorRestartsDeadReplica: killing an instance must produce a
+// respawn, with the router notified of down-then-up.
+func TestSupervisorRestartsDeadReplica(t *testing.T) {
+	ctx, cancel := testContext(t)
+	defer cancel()
+
+	var mu sync.Mutex
+	var spawned []*fakeHandle
+	var notifications []string
+	sv := &Supervisor{
+		Spawn: func(slot int) (Handle, error) {
+			h := newFakeHandle()
+			mu.Lock()
+			spawned = append(spawned, h)
+			mu.Unlock()
+			return h, nil
+		},
+		Notify: func(slot int, url string) {
+			mu.Lock()
+			notifications = append(notifications, fmt.Sprintf("%d:%s", slot, url))
+			mu.Unlock()
+		},
+		HeartbeatInterval: 20 * time.Millisecond,
+		RestartBackoff:    10 * time.Millisecond,
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- sv.Run(ctx, 1) }()
+
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(spawned) >= 1 })
+	mu.Lock()
+	first := spawned[0]
+	mu.Unlock()
+	first.Kill()
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(spawned) >= 2 })
+
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Notifications: up(first), down, up(second), [down on shutdown].
+	if len(notifications) < 3 {
+		t.Fatalf("notifications = %v", notifications)
+	}
+	if notifications[0] != "0:"+first.url || notifications[1] != "0:" {
+		t.Fatalf("restart notifications wrong: %v", notifications)
+	}
+	if notifications[2] != "0:"+spawned[1].url {
+		t.Fatalf("replacement URL not announced: %v", notifications)
+	}
+}
+
+// TestSupervisorKillsHungReplica: an instance that stops answering health
+// probes without exiting must be killed and replaced — the watchdog's whole
+// reason to exist.
+func TestSupervisorKillsHungReplica(t *testing.T) {
+	ctx, cancel := testContext(t)
+	defer cancel()
+
+	var mu sync.Mutex
+	var spawned []*fakeHandle
+	sv := &Supervisor{
+		Spawn: func(slot int) (Handle, error) {
+			h := newFakeHandle()
+			mu.Lock()
+			spawned = append(spawned, h)
+			mu.Unlock()
+			return h, nil
+		},
+		HeartbeatInterval: 15 * time.Millisecond,
+		HeartbeatMisses:   2,
+		RestartBackoff:    10 * time.Millisecond,
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- sv.Run(ctx, 1) }()
+
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(spawned) >= 1 })
+	mu.Lock()
+	first := spawned[0]
+	mu.Unlock()
+	// Wedge the instance: alive as a process, dead to probes.
+	first.healthy.Store(false)
+
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(spawned) >= 2 })
+	select {
+	case <-first.Done():
+	default:
+		t.Fatal("hung instance was replaced but never killed")
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupervisorFirstSpawnFailureIsFatal: a slot that cannot start once is
+// a configuration error, reported rather than retried forever.
+func TestSupervisorFirstSpawnFailureIsFatal(t *testing.T) {
+	ctx, cancel := testContext(t)
+	defer cancel()
+	sv := &Supervisor{Spawn: func(slot int) (Handle, error) {
+		return nil, fmt.Errorf("no such binary")
+	}}
+	if err := sv.Run(ctx, 1); err == nil {
+		t.Fatal("first-spawn failure not reported")
+	}
+}
+
+// TestExecReplicaAddressDiscovery drives StartExec against a shell script
+// that fakes scaltoold's startup line, covering wildcard-address rewriting
+// and the ready-timeout path.
+func TestExecReplicaAddressDiscovery(t *testing.T) {
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("no /bin/sh")
+	}
+	dir := t.TempDir()
+	script := dir + "/fake-scaltoold"
+	if err := os.WriteFile(script, []byte("#!/bin/sh\necho 'scaltoold: listening on [::]:18080'\nsleep 30\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	r, err := StartExec(ExecConfig{Path: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Kill()
+	if r.URL() != "http://127.0.0.1:18080" {
+		t.Fatalf("URL = %q, want the wildcard rewritten to localhost", r.URL())
+	}
+	r.Kill()
+	select {
+	case <-r.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("killed child never reaped")
+	}
+
+	// A child that never announces must be killed at the ready timeout.
+	silent := dir + "/silent"
+	if err := os.WriteFile(silent, []byte("#!/bin/sh\nsleep 30\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartExec(ExecConfig{Path: silent, ReadyTimeout: 100 * time.Millisecond}); err == nil {
+		t.Fatal("silent child did not fail readiness")
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline approaches.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

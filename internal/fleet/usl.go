@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+)
+
+// The fleet measured with the paper's own discipline. Scal-Tool quantifies
+// why a DSM machine stops scaling; Gunther's Universal Scalability Law is
+// the same question asked of a service tier:
+//
+//	C(N) = N / (1 + α(N−1) + βN(N−1))
+//
+// where C(N) is throughput at N replicas relative to one replica, α is the
+// contention share (the serial fraction — queueing at the router, the
+// shared spill directory) and β the coherency share (pairwise
+// synchronization, which grows as N²; it is the same O(N·h) invalidation
+// story the paper tells about directories, at fleet scale). β > 0 implies
+// a throughput PEAK at N* = √((1−α)/β) beyond which adding replicas makes
+// the fleet slower — the number scalload reports so capacity planning has
+// an answer, not a shrug.
+//
+// The fit linearizes the law: with X1 = throughput at N=1,
+//
+//	y(N) = N·X1/X(N) − 1 = α(N−1) + βN(N−1)
+//
+// which is linear in (α, β) and solved by ordinary least squares on the
+// two regressors u = N−1, v = N(N−1) — the standard USL fitting recipe.
+// Negative parameter estimates (possible with superlinear points or noise)
+// are handled by refitting the constrained variants and keeping the best.
+
+// Point is one measured operating point.
+type Point struct {
+	// N is the replica count.
+	N int `json:"n"`
+	// Throughput is requests per second at N replicas.
+	Throughput float64 `json:"throughput_rps"`
+}
+
+// Fit is a fitted Universal Scalability Law.
+type Fit struct {
+	// Alpha is the contention (serial-fraction) coefficient.
+	Alpha float64 `json:"alpha"`
+	// Beta is the coherency (crosstalk) coefficient.
+	Beta float64 `json:"beta"`
+	// X1 is the measured single-replica throughput the law is scaled by.
+	X1 float64 `json:"x1_rps"`
+	// R2 is the coefficient of determination of predicted vs measured
+	// relative capacity.
+	R2 float64 `json:"r2"`
+	// PeakN is the replica count of maximum throughput (0 = no interior
+	// peak; throughput is monotone over any N when β = 0).
+	PeakN int `json:"peak_n,omitempty"`
+}
+
+// Capacity evaluates the fitted law's relative capacity C(N).
+func (f Fit) Capacity(n int) float64 {
+	nn := float64(n)
+	return nn / (1 + f.Alpha*(nn-1) + f.Beta*nn*(nn-1))
+}
+
+// Predict evaluates the fitted law as absolute throughput at N replicas.
+func (f Fit) Predict(n int) float64 { return f.X1 * f.Capacity(n) }
+
+// FitUSL fits the law to measured points. It requires an N=1 point (the
+// normalization X1) and at least one point with N > 1.
+func FitUSL(points []Point) (Fit, error) {
+	var x1 float64
+	multi := make([]Point, 0, len(points))
+	for _, p := range points {
+		switch {
+		case p.N == 1:
+			x1 = p.Throughput
+		case p.N > 1:
+			multi = append(multi, p)
+		default:
+			return Fit{}, fmt.Errorf("fleet: usl: invalid replica count %d", p.N)
+		}
+	}
+	if x1 <= 0 {
+		return Fit{}, fmt.Errorf("fleet: usl: need a positive-throughput N=1 point")
+	}
+	if len(multi) == 0 {
+		return Fit{}, fmt.Errorf("fleet: usl: need at least one point with N > 1")
+	}
+	for _, p := range multi {
+		if p.Throughput <= 0 {
+			return Fit{}, fmt.Errorf("fleet: usl: non-positive throughput at N=%d", p.N)
+		}
+	}
+
+	// y = α·u + β·v with u = N−1, v = N(N−1); normal equations for the
+	// 2×2 no-intercept least squares.
+	var suu, suv, svv, suy, svy float64
+	for _, p := range multi {
+		n := float64(p.N)
+		u, v := n-1, n*(n-1)
+		y := n*x1/p.Throughput - 1
+		suu += u * u
+		suv += u * v
+		svv += v * v
+		suy += u * y
+		svy += v * y
+	}
+
+	candidates := make([]Fit, 0, 4)
+	if det := suu*svv - suv*suv; math.Abs(det) > 1e-12 {
+		a := (suy*svv - svy*suv) / det
+		b := (svy*suu - suy*suv) / det
+		if a >= 0 && b >= 0 {
+			candidates = append(candidates, Fit{Alpha: a, Beta: b, X1: x1})
+		}
+	}
+	// Constrained variants: β=0 (pure contention), α=0 (pure coherency),
+	// both zero (ideal linear). With a near-singular design (a single
+	// multi-replica point) or a negative unconstrained estimate, the best
+	// of these is the answer.
+	if suu > 0 {
+		if a := suy / suu; a >= 0 {
+			candidates = append(candidates, Fit{Alpha: a, X1: x1})
+		}
+	}
+	if svv > 0 {
+		if b := svy / svv; b >= 0 {
+			candidates = append(candidates, Fit{Beta: b, X1: x1})
+		}
+	}
+	candidates = append(candidates, Fit{X1: x1})
+
+	best, bestSSE := Fit{}, math.Inf(1)
+	for _, f := range candidates {
+		var sse float64
+		for _, p := range multi {
+			d := p.Throughput/x1 - f.Capacity(p.N)
+			sse += d * d
+		}
+		if sse < bestSSE {
+			best, bestSSE = f, sse
+		}
+	}
+
+	// R² of predicted vs measured relative capacity, over all points
+	// (including N=1, which every candidate fits exactly).
+	var mean float64
+	for _, p := range points {
+		mean += p.Throughput / x1
+	}
+	mean /= float64(len(points))
+	var ssTot, ssRes float64
+	for _, p := range points {
+		c := p.Throughput / x1
+		ssTot += (c - mean) * (c - mean)
+		d := c - best.Capacity(p.N)
+		ssRes += d * d
+	}
+	if ssTot > 0 {
+		best.R2 = 1 - ssRes/ssTot
+	} else {
+		best.R2 = 1
+	}
+
+	if best.Beta > 0 {
+		if peak := math.Sqrt((1 - best.Alpha) / best.Beta); peak >= 1 {
+			best.PeakN = int(math.Floor(peak))
+		} else {
+			best.PeakN = 1
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+// uslPoints generates exact law-following measurements.
+func uslPoints(x1, alpha, beta float64, ns []int) []Point {
+	pts := make([]Point, 0, len(ns))
+	for _, n := range ns {
+		f := Fit{Alpha: alpha, Beta: beta, X1: x1}
+		pts = append(pts, Point{N: n, Throughput: f.Predict(n)})
+	}
+	return pts
+}
+
+// TestFitUSLRecoversParameters: points generated from a known law must fit
+// back to the same α and β.
+func TestFitUSLRecoversParameters(t *testing.T) {
+	const x1, alpha, beta = 120.0, 0.05, 0.001
+	fit, err := FitUSL(uslPoints(x1, alpha, beta, []int{1, 2, 4, 8, 16, 32}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 1e-9 || math.Abs(fit.Beta-beta) > 1e-9 {
+		t.Fatalf("fit (α=%g, β=%g), want (α=%g, β=%g)", fit.Alpha, fit.Beta, alpha, beta)
+	}
+	if fit.X1 != x1 {
+		t.Fatalf("X1 = %g, want %g", fit.X1, x1)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R² = %g on exact data", fit.R2)
+	}
+	// Peak at √((1−α)/β) = √950 ≈ 30.8 → 30.
+	if fit.PeakN != 30 {
+		t.Fatalf("PeakN = %d, want 30", fit.PeakN)
+	}
+}
+
+// TestFitUSLIdealLinear: perfectly linear scaling must fit α=β=0 with no
+// interior peak.
+func TestFitUSLIdealLinear(t *testing.T) {
+	fit, err := FitUSL(uslPoints(50, 0, 0, []int{1, 2, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha != 0 || fit.Beta != 0 || fit.PeakN != 0 {
+		t.Fatalf("linear data fit α=%g β=%g peak=%d", fit.Alpha, fit.Beta, fit.PeakN)
+	}
+	if got := fit.Predict(8); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("Predict(8) = %g, want 400", got)
+	}
+}
+
+// TestFitUSLSuperlinearClamped: superlinear measurements (noise, cache
+// effects) must not produce negative coefficients.
+func TestFitUSLSuperlinearClamped(t *testing.T) {
+	fit, err := FitUSL([]Point{{N: 1, Throughput: 100}, {N: 2, Throughput: 230}, {N: 4, Throughput: 470}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha < 0 || fit.Beta < 0 {
+		t.Fatalf("negative coefficients: α=%g β=%g", fit.Alpha, fit.Beta)
+	}
+}
+
+// TestFitUSLTwoPoints: the minimum viable input (N=1 plus one more) fits
+// without a singular-matrix failure.
+func TestFitUSLTwoPoints(t *testing.T) {
+	fit, err := FitUSL([]Point{{N: 1, Throughput: 100}, {N: 2, Throughput: 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fit must pass through the measured N=2 capacity.
+	if got := fit.Capacity(2); math.Abs(got-1.5) > 1e-6 {
+		t.Fatalf("Capacity(2) = %g, want 1.5", got)
+	}
+}
+
+// TestFitUSLErrors pins the input contract.
+func TestFitUSLErrors(t *testing.T) {
+	cases := [][]Point{
+		nil,
+		{{N: 2, Throughput: 100}}, // no N=1
+		{{N: 1, Throughput: 100}}, // no N>1
+		{{N: 1, Throughput: 0}, {N: 2, Throughput: 100}},  // X1 = 0
+		{{N: 1, Throughput: 100}, {N: 0, Throughput: 10}}, // invalid N
+		{{N: 1, Throughput: 100}, {N: 2, Throughput: -1}}, // negative rate
+	}
+	for i, pts := range cases {
+		if _, err := FitUSL(pts); err == nil {
+			t.Fatalf("case %d: no error for %v", i, pts)
+		}
+	}
+}

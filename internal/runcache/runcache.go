@@ -3,6 +3,7 @@ package runcache
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strconv"
@@ -118,43 +119,63 @@ func (c *Cache) GetOrRun(ctx context.Context, cfg machine.Config, prog *sim.Prog
 	key := KeyFor(cfg, prog)
 	mt := obs.Meter(ctx)
 
-	c.mu.Lock()
-	// Memory tier.
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		out := el.Value.(*entry).res
+	// One flight allocation serves every lap of the loop below: a lap that
+	// hits the memory tier or joins another flight returns without touching
+	// it, and a lap that becomes leader consumes it exactly once.
+	fresh := &flight{done: make(chan struct{})}
+	for {
+		c.mu.Lock()
+		// Memory tier.
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			out := el.Value.(*entry).res
+			c.mu.Unlock()
+			if mt != nil {
+				mt.Counter("scaltool_runcache_hits_total", "run-cache hits by tier", "tier", "mem").Inc()
+			}
+			return out.Clone(), true, nil
+		}
+		// Join an in-flight identical request.
+		if fl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if fl.err != nil {
+				// The leader failed; its error is not cached. A
+				// deterministic failure is reported rather than retried
+				// (repeating it would spin) — but a leader that died of
+				// ITS OWN context must not poison a follower whose
+				// context is still live. Flights are shared across
+				// independent requests (concurrent analyses on one
+				// replica overlap in run keys), so "the leader was
+				// canceled" says nothing about this caller: take another
+				// lap and become — or join — a fresh flight.
+				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+					if ctx.Err() != nil {
+						return nil, false, ctx.Err()
+					}
+					if mt != nil {
+						mt.Counter("scaltool_runcache_lead_retries_total", "flights retaken after a leader died of its own cancellation").Inc()
+					}
+					continue
+				}
+				return nil, false, fl.err
+			}
+			if mt != nil {
+				mt.Counter("scaltool_runcache_shared_total", "requests served by joining another request's in-flight simulation").Inc()
+			}
+			return fl.res.Clone(), true, nil
+		}
+		// Become the leader for this key.
+		fl := fresh
+		c.inflight[key] = fl
 		c.mu.Unlock()
-		if mt != nil {
-			mt.Counter("scaltool_runcache_hits_total", "run-cache hits by tier", "tier", "mem").Inc()
-		}
-		return out.Clone(), true, nil
-	}
-	// Join an in-flight identical request.
-	if fl, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-fl.done:
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
-		}
-		if fl.err != nil {
-			// The leader failed; its error is not cached. Report it rather
-			// than retrying here: a deterministic failure would spin, and a
-			// canceled leader's waiters are usually canceled with it. The
-			// NEXT request for the key gets a fresh attempt.
-			return nil, false, fl.err
-		}
-		if mt != nil {
-			mt.Counter("scaltool_runcache_shared_total", "requests served by joining another request's in-flight simulation").Inc()
-		}
-		return fl.res.Clone(), true, nil
-	}
-	// Become the leader for this key.
-	fl := &flight{done: make(chan struct{})}
-	c.inflight[key] = fl
-	c.mu.Unlock()
 
-	return c.lead(ctx, key, fl, run, mt)
+		return c.lead(ctx, key, fl, run, mt)
+	}
 }
 
 // lead executes the miss path as the key's singleflight leader: disk tier,
@@ -253,4 +274,3 @@ func (c *Cache) spillPath(key Key) string {
 	}
 	return filepath.Join(c.spillDir, key.String()+".json")
 }
-

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"scaltool/internal/machine"
 	"scaltool/internal/sim"
@@ -328,4 +329,91 @@ func TestNilCacheRunsThrough(t *testing.T) {
 	if err != nil || hit || res == nil {
 		t.Fatalf("nil cache: res=%v hit=%v err=%v", res != nil, hit, err)
 	}
+}
+
+// TestSingleflightCanceledLeadDoesNotPoisonFollower: a leader that dies of
+// its OWN context's cancellation must not hand that error to a follower
+// whose context is live. Flights are shared across independent requests
+// (two analyses on one replica overlap in run keys), so before this
+// contract a single canceled client turned a healthy peer's request into a
+// non-retryable 500.
+func TestSingleflightCanceledLeadDoesNotPoisonFollower(t *testing.T) {
+	cfg := machine.TinyTest()
+	prog := testProg(t, cfg, "app", 2, 2)
+	c := New(Options{})
+
+	leadCtx, cancelLead := context.WithCancel(context.Background())
+	leadStarted := make(chan struct{})
+	leadDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrRun(leadCtx, cfg, prog, func(ctx context.Context) (*sim.Result, error) {
+			close(leadStarted)
+			<-ctx.Done() // simulate a run aborted by the caller vanishing
+			return nil, fmt.Errorf("sim: run stopped: %w", ctx.Err())
+		})
+		leadDone <- err
+	}()
+	<-leadStarted
+
+	// The follower joins the in-flight run, then the leader is canceled.
+	followDone := make(chan error, 1)
+	var followRan atomic.Bool
+	go func() {
+		_, _, err := c.GetOrRun(context.Background(), cfg, prog, func(ctx context.Context) (*sim.Result, error) {
+			followRan.Store(true)
+			return sim.RunContext(ctx, cfg, prog)
+		})
+		followDone <- err
+	}()
+	// Give the follower a moment to join the flight, then kill the leader.
+	waitForInflight(t, c)
+	cancelLead()
+
+	if err := <-leadDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want its own cancellation", err)
+	}
+	if err := <-followDone; err != nil {
+		t.Fatalf("follower inherited the leader's cancellation: %v", err)
+	}
+	if !followRan.Load() {
+		t.Fatal("follower never re-ran the work itself")
+	}
+
+	// A follower whose OWN context is dead still reports its cancellation.
+	deadCtx, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	_, _, err := c.GetOrRun(deadCtx, cfg, prog, func(ctx context.Context) (*sim.Result, error) {
+		return nil, fmt.Errorf("stub: %w", ctx.Err())
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context caller got %v", err)
+	}
+
+	// Deterministic failures still propagate to followers un-retried
+	// (TestSingleflightErrorNotCached covers the sequential variant).
+	boom := errors.New("boom")
+	prog2 := testProg(t, cfg, "app2", 2, 2)
+	if _, _, err := c.GetOrRun(context.Background(), cfg, prog2, func(ctx context.Context) (*sim.Result, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("hard failure = %v, want boom", err)
+	}
+}
+
+// waitForInflight spins until the cache has an in-flight entry with a
+// waiter attached — close enough for the race being staged.
+func waitForInflight(t *testing.T, c *Cache) {
+	t.Helper()
+	// The follower's join is not externally observable, so settle for the
+	// flight existing plus a scheduling yield.
+	for i := 0; i < 1000; i++ {
+		c.mu.Lock()
+		n := len(c.inflight)
+		c.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
 }

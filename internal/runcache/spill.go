@@ -29,6 +29,27 @@ import (
 // classified (header, torn, crc, decode), counted in
 // scaltool_runcache_corrupt_total, and the file is moved into a quarantine
 // subdirectory for forensics rather than silently deleted.
+//
+// Sharing one SpillDir across PROCESSES is supported — it is the fleet's
+// shared cache tier: N scaltoold replicas point -cache-dir at one
+// directory, so an entry spilled by any replica is a disk hit for all of
+// them. The protocol needs no cross-process locks because every operation
+// is already safe under concurrency from other processes:
+//
+//   - Temp names never collide: os.CreateTemp opens with O_CREATE|O_EXCL
+//     and a random suffix, so two replicas spilling the same key write
+//     disjoint temp files.
+//   - Publication is a single atomic rename. Concurrent writers of one key
+//     race benignly: the simulator is deterministic, so both temp files
+//     hold byte-identical frames and either rename winning leaves the same
+//     content. A reader racing the rename sees the complete old file or
+//     the complete new one, never a splice.
+//   - Quarantine races are benign the same way: the losing rename fails
+//     (the source is gone) and falls back to a no-op remove.
+//
+// TestSpillTwoProcessContention drives two real OS processes at one
+// directory to hold all of this; TestSpillSharedDirConcurrentCaches does
+// the same for two Cache instances in one process under the race detector.
 
 // spillMagic identifies (and versions) the spill frame format.
 var spillMagic = [8]byte{'S', 'C', 'S', 'P', 'I', 'L', 'L', '1'}

@@ -63,12 +63,12 @@ func TestPanicIsolationAndQuarantine(t *testing.T) {
 
 // TestRetryAfterDerivation pins the drain-rate → Retry-After conversion:
 // the hint shrinks as the queue empties, speeds up as observed completions
-// speed up, and falls back to the old constant policy with no data.
+// speed up, and quotes the documented cold-start floor with no data.
 func TestRetryAfterDerivation(t *testing.T) {
-	const fallback = 60 * time.Second // → max (and no-data answer) 30s
+	const fallback = 60 * time.Second // → max 30s
 
-	if got := retryAfterSecs(10, 0, fallback); got != 30 {
-		t.Fatalf("no-data fallback = %d, want 30", got)
+	if got := retryAfterSecs(10, 0, fallback); got != coldStartRetrySecs {
+		t.Fatalf("no-data hint = %d, want the cold-start floor %d", got, coldStartRetrySecs)
 	}
 	// Shrinks monotonically as the queue empties at a fixed drain rate.
 	prev := retryAfterSecs(8, 2.0, fallback)
@@ -236,5 +236,31 @@ func TestCorruptSpillResimulatedByteIdentical(t *testing.T) {
 	// and the quarantine directory holds the evidence.
 	if strings.Contains(string(body2), "NaN") {
 		t.Fatalf("response contains NaN: %s", body2)
+	}
+}
+
+// TestRetryAfterColdStart pins the cold-start contract: before the drain
+// estimator has seen a completion pair, a shed request's hint is the short
+// documented floor — never the degenerate "half the request deadline" that
+// would park the first burst of clients for up to 30s — and the floor still
+// respects the fallback ceiling when the deadline is tiny.
+func TestRetryAfterColdStart(t *testing.T) {
+	var d drainEstimator
+	if iv := d.interval(); iv != 0 {
+		t.Fatalf("fresh estimator interval = %v, want 0", iv)
+	}
+	// One completion is not a pair: still cold.
+	d.observe(time.Now())
+	if iv := d.interval(); iv != 0 {
+		t.Fatalf("single completion produced an interval: %v", iv)
+	}
+	for _, occ := range []int{0, 1, 100} {
+		if got := retryAfterSecs(occ, d.interval(), DefaultRequestTimeout); got != coldStartRetrySecs {
+			t.Fatalf("cold start at occupancy %d quoted %ds, want %d", occ, got, coldStartRetrySecs)
+		}
+	}
+	// A deadline shorter than the floor clamps the floor, never below 1s.
+	if got := retryAfterSecs(5, 0, 2*time.Second); got != 1 {
+		t.Fatalf("tiny-deadline cold start quoted %ds, want 1", got)
 	}
 }

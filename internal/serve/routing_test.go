@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"scaltool/internal/admission"
+)
+
+// TestRoutingKey pins the placement contract: documents that normalize to
+// the same analysis share a key (cache affinity survives omitted defaults),
+// different analyses get different keys, and program specs / unresolvable
+// documents fall back to a stable document digest without ever building the
+// program.
+func TestRoutingKey(t *testing.T) {
+	base := RoutingKey(&Request{App: "swim", Procs: 4})
+
+	// Omitted defaults normalize: machine "" is "scaled".
+	if got := RoutingKey(&Request{App: "swim", Procs: 4, Machine: "scaled"}); got != base {
+		t.Fatalf("explicit default machine changed the key: %q vs %q", got, base)
+	}
+	// Different workload, procs, or machine → different key.
+	for name, req := range map[string]*Request{
+		"app":     {App: "hydro2d", Procs: 4},
+		"procs":   {App: "swim", Procs: 8},
+		"machine": {App: "swim", Procs: 4, Machine: "origin"},
+		"s0":      {App: "swim", Procs: 4, S0: 1 << 24},
+	} {
+		if got := RoutingKey(req); got == base {
+			t.Fatalf("%s change did not change the routing key", name)
+		}
+	}
+	// The builtin-app key is the raw runcache content address (64 hex), not
+	// the document-digest fallback.
+	if strings.HasPrefix(base, "doc:") || len(base) != 64 {
+		t.Fatalf("builtin app routed by document digest, want content address: %q", base)
+	}
+
+	// Omitted procs defaults to 32 — the same key as an explicit 32.
+	if RoutingKey(&Request{App: "swim"}) != RoutingKey(&Request{App: "swim", Procs: 32}) {
+		t.Fatal("omitted procs and explicit 32 routed differently")
+	}
+
+	// Unknown apps and bad shapes fall back to the document digest, totally.
+	for _, req := range []*Request{
+		{App: "not-an-app", Procs: 4},
+		{App: "swim", Procs: 3},
+		{App: "swim", Procs: 4, Machine: "cray"},
+		{},
+	} {
+		got := RoutingKey(req)
+		if !strings.HasPrefix(got, "doc:") {
+			t.Fatalf("unresolvable doc %+v got a content key: %q", req, got)
+		}
+		if again := RoutingKey(req); again != got {
+			t.Fatalf("fallback key unstable: %q vs %q", got, again)
+		}
+	}
+
+	// A user program spec routes by digest — the router must not build it.
+	spec := &admission.ProgramSpec{Name: "user-prog"}
+	k1 := RoutingKey(&Request{Program: spec, Procs: 4})
+	if !strings.HasPrefix(k1, "doc:") {
+		t.Fatalf("program spec got a content key: %q", k1)
+	}
+	if k2 := RoutingKey(&Request{Program: spec, Procs: 8}); k2 == k1 {
+		t.Fatal("different program-spec procs shared a routing key")
+	}
+
+	// RoutingKey never mutates the caller's document.
+	req := &Request{App: "swim"}
+	_ = RoutingKey(req)
+	if req.Procs != 0 || req.Machine != "" {
+		t.Fatalf("RoutingKey mutated its argument: %+v", req)
+	}
+}

@@ -569,16 +569,28 @@ func (d *drainEstimator) interval() float64 {
 	return d.avgInterval
 }
 
+// coldStartRetrySecs is the Retry-After quoted while the drain estimator
+// has no data (fewer than two completions since startup). The EWMA needs a
+// completion *pair* before it can predict anything; quoting half the
+// request deadline there — up to 30s under the defaults — told the very
+// first burst of shed clients to go away for ages when the realistic wait
+// was one analysis. A short optimistic floor is the right cold-start bias:
+// a too-early retry costs one cheap 429, a too-late one idles the server.
+const coldStartRetrySecs = 2
+
 // retryAfterSecs converts queue occupancy and the observed drain rate into a
 // Retry-After hint: the predicted time for the queue's head room to open up,
-// clamped to [1, fallback]. With no observations yet it returns fallback
-// (half the request deadline — the old constant policy).
+// clamped to [1, fallback/2]. With no observations yet (cold start) it
+// returns coldStartRetrySecs, still clamped to the same ceiling.
 func retryAfterSecs(occupancy int, interval float64, fallback time.Duration) int {
 	max := int(fallback.Seconds() / 2)
 	if max < 1 {
 		max = 1
 	}
 	if interval <= 0 {
+		if coldStartRetrySecs < max {
+			return coldStartRetrySecs
+		}
 		return max
 	}
 	secs := int(math.Ceil(interval * float64(occupancy+1)))
