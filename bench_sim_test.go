@@ -1,0 +1,51 @@
+package scaltool_test
+
+// BenchmarkSimRun measures one raw simulator run — no HTTP, no campaign, no
+// cache — so the engine's per-access cost and allocation behavior are visible
+// without serving-path noise. BENCH_sim.json records its trajectory together
+// with BenchmarkServeAnalyze (the end-to-end number the acceptance bar is
+// set on).
+
+import (
+	"testing"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/machine"
+	"scaltool/internal/sim"
+)
+
+func BenchmarkSimRun(b *testing.B) {
+	cfg := machine.ScaledOrigin()
+	for _, bc := range []struct {
+		app   string
+		procs int
+	}{
+		{"swim", 8},
+		{"hydro2d", 8},
+		{"swim", 1},
+	} {
+		app, err := apps.ByName(bc.app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := app.Build(cfg, bc.procs, app.DefaultBytes(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bc.app+"/p"+itoa(bc.procs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg, prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}

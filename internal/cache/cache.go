@@ -73,20 +73,43 @@ func (k MissKind) String() string {
 	return fmt.Sprintf("MissKind(%d)", uint8(k))
 }
 
-type way struct {
-	line  uint64
-	state State
-}
-
 // Cache is one set-associative, LRU, write-back cache. Lines are identified
 // by line number (byte address >> log2(lineBytes)); the cache itself never
 // sees byte addresses.
+//
+// The ways of all sets live in one flat slice indexed by set*assoc+way, each
+// slot packing the line number and its state into a single word
+// (line<<2 | state). Within a set the occupied ways come first, ordered MRU
+// first, and the remaining slots hold 0 (state Invalid). A set probe
+// therefore reads exactly one densely-packed word per way — the L2's way
+// metadata is megabytes, so every probe is a *host* cache access, and one
+// array instead of parallel line/state arrays halves that traffic.
 type Cache struct {
-	sets     [][]way // sets[i] ordered MRU first; len ≤ assoc
+	slots    []uint64 // flat ways: slots[set*assoc+way] = line<<2 | state
 	assoc    int
 	setMask  uint64
 	pageBits uint // log2(lines per page) for physical-index emulation; 0 = plain modulo
 	resident int
+
+	// Frame-scramble memo: mix64 is a pure function of the page number, and
+	// sequential sweeps stay on one page for hundreds of lines, so the
+	// invariant memoFrame == mix64(memoPage) (established in New, maintained
+	// on every update) lets set() skip the hash for repeat pages. Purely an
+	// evaluation cache — no validity bit, no reset, no observable effect.
+	memoPage  uint64
+	memoFrame uint64
+}
+
+// stateBits is the slot width reserved for the packed State.
+const stateBits = 2
+
+func packSlot(line uint64, st State) uint64 { return line<<stateBits | uint64(st) }
+
+func slotLine(s uint64) uint64 { return s >> stateBits }
+func slotState(s uint64) State { return State(s & (1<<stateBits - 1)) }
+func slotEmpty(s uint64) bool  { return s&(1<<stateBits-1) == uint64(Invalid) }
+func (c *Cache) setSlotState(i int, st State) {
+	c.slots[i] = c.slots[i]&^uint64(1<<stateBits-1) | uint64(st)
 }
 
 // New builds an empty cache with the given geometry. pageBytes, when
@@ -101,13 +124,15 @@ type Cache struct {
 func New(cfg machine.CacheConfig, pageBytes int) *Cache {
 	err := cfg.Validate()
 	assert.True(err == nil, "cache: invalid config: %v", err)
+	n := cfg.Sets() * cfg.Assoc
 	c := &Cache{
-		sets:    make([][]way, cfg.Sets()), // per-set slices allocate lazily; most sets stay cold in small runs
+		slots:   make([]uint64, n),
 		assoc:   cfg.Assoc,
 		setMask: uint64(cfg.Sets() - 1),
 	}
 	if pageBytes > cfg.LineBytes {
 		c.pageBits = uint(bits.TrailingZeros(uint(pageBytes / cfg.LineBytes)))
+		c.memoFrame = mix64(c.memoPage)
 	}
 	return c
 }
@@ -118,8 +143,11 @@ func (c *Cache) set(line uint64) int {
 		return int(line & c.setMask)
 	}
 	offset := line & (1<<c.pageBits - 1)
-	frame := mix64(line >> c.pageBits)
-	return int((offset | frame<<c.pageBits) & c.setMask)
+	if page := line >> c.pageBits; page != c.memoPage {
+		c.memoPage = page
+		c.memoFrame = mix64(page)
+	}
+	return int((offset | c.memoFrame<<c.pageBits) & c.setMask)
 }
 
 // mix64 is a splitmix64-style finalizer: a fixed, deterministic bijection
@@ -135,13 +163,53 @@ func mix64(x uint64) uint64 {
 // access patterns in tests and conflict studies).
 func (c *Cache) SetOf(line uint64) int { return c.set(line) }
 
+// find returns the slot index of line within its set, or -1. b is the set's
+// base slot. Scanning stops at the first Invalid slot: occupied ways are
+// always compacted to the front of the set.
+func (c *Cache) find(line uint64, b int) int {
+	want := packSlot(line, 0)
+	for i := b; i < b+c.assoc; i++ {
+		s := c.slots[i]
+		if slotEmpty(s) {
+			return -1
+		}
+		if s&^uint64(1<<stateBits-1) == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// used returns the number of occupied ways of the set at base slot b.
+func (c *Cache) used(b int) int {
+	n := 0
+	for n < c.assoc && !slotEmpty(c.slots[b+n]) {
+		n++
+	}
+	return n
+}
+
+// toFront moves slot i of the set at base b to the MRU position, shifting
+// the ways before it down by one. The shift is a scalar loop, not copy():
+// the windows are at most assoc-1 elements, far below where memmove wins.
+func (c *Cache) toFront(b, i int) {
+	s := c.slots[i]
+	for j := i; j > b; j-- {
+		c.slots[j] = c.slots[j-1]
+	}
+	c.slots[b] = s
+}
+
+// base returns the first slot of line's set — the b every probe helper
+// takes. The hierarchy's access path computes it once per line and reuses it
+// across the probe, install and state-change steps of one access, instead of
+// re-deriving the set (and its mix64 frame scramble) in every call.
+func (c *Cache) base(line uint64) int { return c.set(line) * c.assoc }
+
 // Lookup reports the state of a line without touching LRU order.
 func (c *Cache) Lookup(line uint64) (State, bool) {
-	s := c.sets[c.set(line)]
-	for _, w := range s {
-		if w.line == line {
-			return w.state, true
-		}
+	if i := c.find(line, c.base(line)); i >= 0 {
+		return slotState(c.slots[i]), true
 	}
 	return Invalid, false
 }
@@ -149,29 +217,96 @@ func (c *Cache) Lookup(line uint64) (State, bool) {
 // Touch moves a resident line to MRU position and returns its state. The
 // second result is false if the line is not resident.
 func (c *Cache) Touch(line uint64) (State, bool) {
-	s := c.sets[c.set(line)]
-	for i, w := range s {
-		if w.line == line {
-			copy(s[1:i+1], s[:i])
-			s[0] = w
-			return w.state, true
+	return c.touchAt(c.base(line), line)
+}
+
+// touchAt is Touch with a precomputed set base, with the probe and the MRU
+// reorder fused into one pass. The first way is checked separately: an MRU
+// hit — the dominant case — needs no reorder at all.
+func (c *Cache) touchAt(b int, line uint64) (State, bool) {
+	s := c.slots[b]
+	if slotEmpty(s) {
+		return Invalid, false
+	}
+	want := packSlot(line, 0)
+	if s&^uint64(1<<stateBits-1) == want {
+		return slotState(s), true
+	}
+	for i := b + 1; i < b+c.assoc; i++ {
+		s = c.slots[i]
+		if slotEmpty(s) {
+			return Invalid, false
+		}
+		if s&^uint64(1<<stateBits-1) == want {
+			c.toFront(b, i)
+			return slotState(s), true
 		}
 	}
 	return Invalid, false
+}
+
+// probeAt is touchAt for miss-install paths: on a miss it additionally
+// reports the first free slot of the set (b+assoc when the set is full), so
+// a following installAt need not rescan. On a hit it behaves exactly like
+// touchAt and the slot result is meaningless.
+func (c *Cache) probeAt(b int, line uint64) (State, bool, int) {
+	s := c.slots[b]
+	if slotEmpty(s) {
+		return Invalid, false, b
+	}
+	want := packSlot(line, 0)
+	if s&^uint64(1<<stateBits-1) == want {
+		return slotState(s), true, 0
+	}
+	for i := b + 1; i < b+c.assoc; i++ {
+		s = c.slots[i]
+		if slotEmpty(s) {
+			return Invalid, false, i
+		}
+		if s&^uint64(1<<stateBits-1) == want {
+			c.toFront(b, i)
+			return slotState(s), true, 0
+		}
+	}
+	return Invalid, false, b + c.assoc
+}
+
+// installAt installs a known-non-resident line at MRU, given the set's first
+// free slot as reported by probeAt with no intervening mutation of the set.
+// free == b+assoc means the set is full; the LRU way is dropped silently
+// (callers use this only for L1, whose evictions are silent under
+// inclusion — the data lives on in L2).
+func (c *Cache) installAt(b, free int, line uint64, st State) {
+	if free == b+c.assoc {
+		free--
+	} else {
+		c.resident++
+	}
+	for j := free; j > b; j-- {
+		c.slots[j] = c.slots[j-1]
+	}
+	c.slots[b] = packSlot(line, st)
 }
 
 // SetState changes the state of a resident line (e.g. S→M on a write
 // upgrade). It panics if the line is not resident: callers must have just
 // observed it via Lookup/Touch.
 func (c *Cache) SetState(line uint64, st State) {
-	s := c.sets[c.set(line)]
-	for i := range s {
-		if s[i].line == line {
-			s[i].state = st
-			return
-		}
+	if i := c.find(line, c.base(line)); i >= 0 {
+		c.setSlotState(i, st)
+		return
 	}
 	assert.Failf("cache: SetState on non-resident line %#x", line)
+}
+
+// setStateIfResident changes a line's state if resident, reporting whether
+// it was — one probe where a Lookup-then-SetState pair would take two.
+func (c *Cache) setStateIfResident(line uint64, st State) bool {
+	if i := c.find(line, c.base(line)); i >= 0 {
+		c.setSlotState(i, st)
+		return true
+	}
+	return false
 }
 
 // Eviction describes a line displaced by Insert.
@@ -185,61 +320,83 @@ type Eviction struct {
 // it to maintain L2→L1 inclusion and to count writebacks of Modified lines).
 // Inserting an already-resident line just refreshes state and LRU order.
 func (c *Cache) Insert(line uint64, st State) (ev Eviction, evicted bool) {
+	return c.insertAt(c.base(line), line, st)
+}
+
+// insertAt is Insert with a precomputed set base. The residency probe and
+// the free-slot count are one scan (occupied ways are compacted to the
+// front, so the first Invalid slot ends both questions at once).
+func (c *Cache) insertAt(b int, line uint64, st State) (ev Eviction, evicted bool) {
 	if st == Invalid {
 		assert.Failf("cache: Insert with Invalid state")
 	}
-	idx := c.set(line)
-	s := c.sets[idx]
-	for i, w := range s {
-		if w.line == line {
-			copy(s[1:i+1], s[:i])
-			s[0] = way{line: line, state: st}
+	want := packSlot(line, 0)
+	packed := packSlot(line, st)
+	end := b + c.assoc
+	i := b
+	for ; i < end; i++ {
+		s := c.slots[i]
+		if slotEmpty(s) {
+			break // not resident; i is the first free slot
+		}
+		if s&^uint64(1<<stateBits-1) == want {
+			// Already resident: refresh state and LRU order.
+			c.toFront(b, i)
+			c.slots[b] = packed
 			return Eviction{}, false
 		}
 	}
-	if len(s) < c.assoc {
-		s = append(s, way{})
-		copy(s[1:], s[:len(s)-1])
-		s[0] = way{line: line, state: st}
-		c.sets[idx] = s
+	if i < end {
+		// Shift the occupied ways down one slot and install at MRU.
+		for j := i; j > b; j-- {
+			c.slots[j] = c.slots[j-1]
+		}
+		c.slots[b] = packed
 		c.resident++
 		return Eviction{}, false
 	}
-	victim := s[len(s)-1]
-	copy(s[1:], s[:len(s)-1])
-	s[0] = way{line: line, state: st}
-	return Eviction{Line: victim.line, State: victim.state}, true
+	last := end - 1
+	victim := Eviction{Line: slotLine(c.slots[last]), State: slotState(c.slots[last])}
+	for j := last; j > b; j-- {
+		c.slots[j] = c.slots[j-1]
+	}
+	c.slots[b] = packed
+	return victim, true
 }
 
 // Invalidate removes a line if resident, returning its prior state. This is
-// the path the directory's remote-write invalidations take.
+// the path the directory's remote-write invalidations take. The remaining
+// ways compact toward the front (preserving LRU order) and the vacated tail
+// slot is cleared — no stale way value survives in the set.
 func (c *Cache) Invalidate(line uint64) (State, bool) {
-	idx := c.set(line)
-	s := c.sets[idx]
-	for i, w := range s {
-		if w.line == line {
-			c.sets[idx] = append(s[:i], s[i+1:]...)
-			c.resident--
-			return w.state, true
-		}
+	b := c.base(line)
+	i := c.find(line, b)
+	if i < 0 {
+		return Invalid, false
 	}
-	return Invalid, false
+	prev := slotState(c.slots[i])
+	n := c.used(b)
+	last := b + n - 1
+	for j := i; j < last; j++ {
+		c.slots[j] = c.slots[j+1]
+	}
+	c.slots[last] = 0
+	c.resident--
+	return prev, true
 }
 
 // Downgrade moves a resident Modified/Exclusive line to Shared (a remote
 // read hitting a dirty or exclusive line). Returns the prior state.
 func (c *Cache) Downgrade(line uint64) (State, bool) {
-	s := c.sets[c.set(line)]
-	for i := range s {
-		if s[i].line == line {
-			prev := s[i].state
-			if prev == Modified || prev == Exclusive {
-				s[i].state = Shared
-			}
-			return prev, true
-		}
+	i := c.find(line, c.base(line))
+	if i < 0 {
+		return Invalid, false
 	}
-	return Invalid, false
+	prev := slotState(c.slots[i])
+	if prev == Modified || prev == Exclusive {
+		c.setSlotState(i, Shared)
+	}
+	return prev, true
 }
 
 // Resident returns the number of lines currently cached.
@@ -248,9 +405,13 @@ func (c *Cache) Resident() int { return c.resident }
 // ForEach calls fn for every resident line in unspecified (but
 // deterministic: set-major, MRU-first) order.
 func (c *Cache) ForEach(fn func(line uint64, st State)) {
-	for _, s := range c.sets {
-		for _, w := range s {
-			fn(w.line, w.state)
+	for b := 0; b < len(c.slots); b += c.assoc {
+		for i := b; i < b+c.assoc; i++ {
+			s := c.slots[i]
+			if slotEmpty(s) {
+				break
+			}
+			fn(slotLine(s), slotState(s))
 		}
 	}
 }
@@ -259,16 +420,22 @@ func (c *Cache) ForEach(fn func(line uint64, st State)) {
 // (writebacks).
 func (c *Cache) Flush() int {
 	dirty := 0
-	for i, s := range c.sets {
-		for _, w := range s {
-			if w.state == Modified {
-				dirty++
-			}
+	for i, s := range c.slots {
+		if slotState(s) == Modified {
+			dirty++
 		}
-		c.sets[i] = s[:0]
+		c.slots[i] = 0
 	}
 	c.resident = 0
 	return dirty
+}
+
+// Reset empties the cache without counting writebacks — the pooled run
+// arena's path back to a provably fresh cache. Equivalent to New for every
+// observable behavior.
+func (c *Cache) Reset() {
+	clear(c.slots)
+	c.resident = 0
 }
 
 // lineShift returns log2(lineBytes).

@@ -70,14 +70,36 @@ type Stats struct {
 // Hierarchy is one processor's private L1+L2 pair with inclusion
 // maintenance, ground-truth miss classification and the store-to-shared
 // event counter source.
+//
+// The per-line history the classifier needs (ever cached? invalidated by a
+// remote write?) lives in one open-addressed flag table instead of two Go
+// maps, and a one-entry MRU memo short-circuits the dominant access pattern
+// of array codes — consecutive accesses to the same L1 line — without
+// touching either cache's LRU machinery (the line is already at MRU, and a
+// repeat read or an M-state repeat write changes no state anywhere).
 type Hierarchy struct {
 	l1, l2   *Cache
 	l1Shift  uint
 	l2Shift  uint
 	subLines uint64 // L1 lines per L2 line
 
-	everCached  map[uint64]struct{} // L2 lines this processor has ever cached
-	invalidated map[uint64]struct{} // L2 lines removed by remote-write invalidation while resident
+	history lineFlags // per-L2-line everCached/invalidated flags
+
+	// MRU memo: the L1 line of the previous access and its post-access
+	// state. Valid only while no other cache operation has intervened;
+	// every remote operation and L2 eviction clears it.
+	memoLine  uint64
+	memoState State
+	memoOK    bool
+
+	// L2 memo: the most recently touched-or-inserted L2 line and its state.
+	// While valid, that line is provably at MRU in its set (nothing else has
+	// reordered L2 since), so a repeat L2 access can skip the probe: Touch
+	// would find it at the front and move nothing. Cleared by remote
+	// operations and evictions; updated by state upgrades.
+	memoL2Line  uint64
+	memoL2State State
+	memoL2OK    bool
 
 	stats Stats
 }
@@ -87,13 +109,12 @@ func NewHierarchy(cfg machine.Config) *Hierarchy {
 	err := cfg.Validate()
 	assert.True(err == nil, "cache: invalid machine config: %v", err)
 	return &Hierarchy{
-		l1:          New(cfg.L1, cfg.PageBytes),
-		l2:          New(cfg.L2, cfg.PageBytes),
-		l1Shift:     lineShift(cfg.L1.LineBytes),
-		l2Shift:     lineShift(cfg.L2.LineBytes),
-		subLines:    uint64(cfg.L2.LineBytes / cfg.L1.LineBytes),
-		everCached:  make(map[uint64]struct{}),
-		invalidated: make(map[uint64]struct{}),
+		l1:       New(cfg.L1, cfg.PageBytes),
+		l2:       New(cfg.L2, cfg.PageBytes),
+		l1Shift:  lineShift(cfg.L1.LineBytes),
+		l2Shift:  lineShift(cfg.L2.LineBytes),
+		subLines: uint64(cfg.L2.LineBytes / cfg.L1.LineBytes),
+		history:  newLineFlags(),
 	}
 }
 
@@ -106,55 +127,122 @@ func (h *Hierarchy) Access(addr uint64, write bool, fill FillFunc) Outcome {
 	h.stats.Accesses++
 	l1Line := addr >> h.l1Shift
 	l2Line := addr >> h.l2Shift
-	out := Outcome{L2Line: l2Line}
 
-	if st, ok := h.l1.Touch(l1Line); ok {
+	// Fast path: repeat access to the previous L1 line. The line is at MRU
+	// in both levels, a read changes no state, and a store to a Modified
+	// line is silent — byte-identical to the full walk below.
+	if h.memoOK && l1Line == h.memoLine && (!write || h.memoState == Modified) {
+		return Outcome{Level: HitL1, L2Line: l2Line}
+	}
+	out := Outcome{L2Line: l2Line}
+	l1b := h.l1.base(l1Line)
+
+	st, ok, l1free := h.l1.probeAt(l1b, l1Line)
+	if ok {
 		out.Level = HitL1
 		if write {
 			h.storeTo(st, l1Line, l2Line, &out)
+			st = Modified
 		}
+		h.setMemo(l1Line, st)
 		return out
 	}
 	h.stats.L1Misses++
+	// From here on l1Line is known non-resident and l1free is its set's first
+	// free slot. storeTo's L1 half is then a no-op probe, and the L1 install
+	// can reuse l1free — valid on the two L2-hit paths below, where nothing
+	// mutates L1 in between, but NOT on the full-miss path, where evictL2 may
+	// invalidate sub-lines out of this very set.
 
-	if st, ok := h.l2.Touch(l2Line); ok {
+	// L2 memo fast path: a repeat access to the most recently used L2 line
+	// skips the probe — the line is at MRU, so Touch would be a no-op reorder
+	// returning the memoized state.
+	if h.memoL2OK && l2Line == h.memoL2Line {
+		st = h.memoL2State
 		out.Level = HitL2
 		if write {
 			h.storeTo(st, l1Line, l2Line, &out)
-			st, _ = h.l2.Lookup(l2Line) // pick up the upgraded state
+			st = Modified // storeTo upgraded the resident L2 line
 		}
-		h.fillL1(l1Line, st, &out)
+		h.l1.installAt(l1b, l1free, l1Line, st)
+		h.setMemo(l1Line, st)
+		return out
+	}
+
+	l2b := h.l2.base(l2Line)
+	if st, ok := h.l2.touchAt(l2b, l2Line); ok {
+		out.Level = HitL2
+		if write {
+			h.storeTo(st, l1Line, l2Line, &out)
+			st = Modified // storeTo upgraded the resident L2 line
+		}
+		h.setMemoL2(l2Line, st)
+		h.l1.installAt(l1b, l1free, l1Line, st)
+		h.setMemo(l1Line, st)
 		return out
 	}
 
 	// Full miss: classify against this processor's history.
 	h.stats.L2Misses++
 	out.Level = MissAll
-	if _, seen := h.everCached[l2Line]; !seen {
+	switch flags := h.history.missClassify(l2Line); {
+	case flags&flagEverCached == 0:
 		out.Kind = MissCompulsory
 		h.stats.Compulsory++
-	} else if _, inv := h.invalidated[l2Line]; inv {
+	case flags&flagInvalidated != 0:
 		out.Kind = MissCoherence
 		h.stats.Coherence++
-		delete(h.invalidated, l2Line)
-	} else {
+	default:
 		out.Kind = MissConflict
 		h.stats.Conflict++
 	}
-	h.everCached[l2Line] = struct{}{}
 
-	st := fill(l2Line, write)
+	st = fill(l2Line, write)
 	if write && st != Modified {
 		assert.Failf("cache: fill granted a write in non-Modified state %s", st)
 	}
 	if st == Invalid {
 		assert.Failf("cache: fill granted Invalid state")
 	}
-	if ev, ok := h.l2.Insert(l2Line, st); ok {
+	if ev, ok := h.l2.insertAt(l2b, l2Line, st); ok {
 		h.evictL2(ev, &out)
 	}
-	h.fillL1(l1Line, st, &out)
+	h.setMemoL2(l2Line, st)
+	h.l1.insertAt(l1b, l1Line, st)
+	h.setMemo(l1Line, st)
 	return out
+}
+
+// MemoHit is the memo fast path of Access, split out small enough to inline
+// into the simulator's per-access loop: if addr repeats the previous access's
+// L1 line (and a store finds it Modified, so the store is silent), the access
+// is a pure L1 hit that changes no cache state. On a hit the access counter
+// is charged and the caller may skip Access entirely; on false the caller
+// must run the full Access, which re-checks the memo harmlessly.
+func (h *Hierarchy) MemoHit(addr uint64, write bool) bool {
+	if h.memoOK && addr>>h.l1Shift == h.memoLine && (!write || h.memoState == Modified) {
+		h.stats.Accesses++
+		return true
+	}
+	return false
+}
+
+// AddAccesses counts k accesses that the simulator satisfied from the memo
+// without calling MemoHit per access (its same-line batching): one counter
+// add instead of k. The hierarchy state is untouched, exactly as k MemoHit
+// calls would leave it.
+func (h *Hierarchy) AddAccesses(k uint64) { h.stats.Accesses += k }
+
+// L1Shift returns log2(L1 line bytes) — the simulator's batching needs the
+// L1 line geometry to prove a run of accesses stays on the memo line.
+func (h *Hierarchy) L1Shift() uint { return h.l1Shift }
+
+// setMemo records the line and post-access state of the access that just
+// completed.
+func (h *Hierarchy) setMemo(l1Line uint64, st State) {
+	h.memoLine = l1Line
+	h.memoState = st
+	h.memoOK = true
 }
 
 // storeTo handles the state transition of a store that hit (at either
@@ -165,17 +253,29 @@ func (h *Hierarchy) storeTo(st State, l1Line, l2Line uint64, out *Outcome) {
 		out.StoreToShared = true
 		out.UpgradeFromShared = true
 		h.stats.StoreShared++
-	case Exclusive, Modified:
-		// Silent E→M / already M.
+	case Exclusive:
+		// Silent E→M.
+	case Modified:
+		// Already Modified at the hit level — and by inclusion maintenance
+		// the L2 copy of an M-state L1 line is itself M (every path that
+		// makes an L1 line Modified made the L2 line Modified too), so the
+		// state writes below would be no-ops. Skip both probes.
+		return
 	case Invalid:
 		assert.Failf("cache: store hit reported on Invalid line")
 	}
-	if _, ok := h.l2.Lookup(l2Line); ok {
-		h.l2.SetState(l2Line, Modified)
+	if h.l2.setStateIfResident(l2Line, Modified) && h.memoL2OK && h.memoL2Line == l2Line {
+		h.memoL2State = Modified
 	}
-	if _, ok := h.l1.Lookup(l1Line); ok {
-		h.l1.SetState(l1Line, Modified)
-	}
+	h.l1.setStateIfResident(l1Line, Modified)
+}
+
+// setMemoL2 records the L2 line that was just touched or inserted (now at
+// MRU) and its post-access state.
+func (h *Hierarchy) setMemoL2(l2Line uint64, st State) {
+	h.memoL2Line = l2Line
+	h.memoL2State = st
+	h.memoL2OK = true
 }
 
 // fillL1 installs the accessed L1 sub-line; L1 evictions are silent (the L2
@@ -199,6 +299,11 @@ func (h *Hierarchy) evictL2(ev Eviction, out *Outcome) {
 	for i := uint64(0); i < h.subLines; i++ {
 		h.l1.Invalidate(base + i)
 	}
+	// The victim's sub-lines may include the memo line, and the set was
+	// reordered; both memos are stale (the miss path re-establishes the L2
+	// memo for the newly inserted line).
+	h.memoOK = false
+	h.memoL2OK = false
 }
 
 // InvalidateRemote applies a directory invalidation (a remote processor
@@ -208,12 +313,14 @@ func (h *Hierarchy) evictL2(ev Eviction, out *Outcome) {
 func (h *Hierarchy) InvalidateRemote(l2Line uint64) bool {
 	_, ok := h.l2.Invalidate(l2Line)
 	if ok {
-		h.invalidated[l2Line] = struct{}{}
+		h.history.or(l2Line, flagInvalidated)
 	}
 	base := l2Line * h.subLines
 	for i := uint64(0); i < h.subLines; i++ {
 		h.l1.Invalidate(base + i)
 	}
+	h.memoOK = false
+	h.memoL2OK = false
 	return ok
 }
 
@@ -230,6 +337,8 @@ func (h *Hierarchy) DowngradeRemote(l2Line uint64) (State, bool) {
 			h.l1.Downgrade(base + i)
 		}
 	}
+	h.memoOK = false
+	h.memoL2OK = false
 	return prev, ok
 }
 
@@ -244,4 +353,17 @@ func (h *Hierarchy) ResidentL2() int { return h.l2.Resident() }
 
 // EverCached returns how many distinct L2 lines this processor has ever
 // cached (the per-processor footprint, used by the ssusage analogue).
-func (h *Hierarchy) EverCached() int { return len(h.everCached) }
+func (h *Hierarchy) EverCached() int { return h.history.count() }
+
+// Reset returns the hierarchy to its just-built state — empty caches, empty
+// history, zero counters — reusing every backing array. The pooled run
+// arena calls this between runs; the byte-identity gate holds it to being
+// indistinguishable from NewHierarchy.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.history.reset()
+	h.memoOK = false
+	h.memoL2OK = false
+	h.stats = Stats{}
+}

@@ -1,0 +1,115 @@
+package cache
+
+// lineFlags is an open-addressed hash table from L2 line number to a small
+// flag byte. It replaces the Hierarchy's former everCached/invalidated
+// map[uint64]struct{} pair with a single flat probe on the miss-
+// classification path: one table, one lookup, zero steady-state allocation
+// once grown, and a Reset that recycles the backing arrays for the pooled
+// run arena.
+//
+// Lines are only ever added (flagEverCached never clears), so the table
+// needs no tombstones: a slot is occupied iff its flag byte is non-zero.
+// Linear probing with a power-of-two capacity and the same splitmix64
+// finalizer the cache uses for physical-index emulation keeps probe chains
+// short at the 7/8 load bound.
+type lineFlags struct {
+	keys []uint64
+	vals []uint8
+	mask uint64
+	n    int // occupied slots
+}
+
+// Flag bits. flagEverCached marks lines this processor has ever held;
+// flagInvalidated marks lines removed by a remote write's invalidation while
+// resident (cleared again when the resulting coherence miss is consumed).
+const (
+	flagEverCached  uint8 = 1 << 0
+	flagInvalidated uint8 = 1 << 1
+)
+
+const lineFlagsMinCap = 1024
+
+func newLineFlags() lineFlags {
+	return lineFlags{
+		keys: make([]uint64, lineFlagsMinCap),
+		vals: make([]uint8, lineFlagsMinCap),
+		mask: lineFlagsMinCap - 1,
+	}
+}
+
+// slot returns the index of line's slot, or of the empty slot where it
+// would be inserted.
+func (f *lineFlags) slot(line uint64) uint64 {
+	i := mix64(line) & f.mask
+	for f.vals[i] != 0 && f.keys[i] != line {
+		i = (i + 1) & f.mask
+	}
+	return i
+}
+
+// get returns the flag byte of line (0 if never seen).
+func (f *lineFlags) get(line uint64) uint8 { return f.vals[f.slot(line)] }
+
+// or sets the given flag bits on line, inserting it if new.
+func (f *lineFlags) or(line uint64, bits uint8) {
+	i := f.slot(line)
+	if f.vals[i] == 0 {
+		if f.n+1 >= len(f.keys)-len(f.keys)/8 {
+			f.grow()
+			i = f.slot(line)
+		}
+		f.keys[i] = line
+		f.n++
+	}
+	f.vals[i] |= bits
+}
+
+// missClassify returns line's flags as they stood before this miss and
+// leaves the slot holding exactly flagEverCached — the state every miss
+// classification used to reach via a get plus an or plus (for coherence
+// misses) a clearBits, but in one probe instead of two or three. The probe
+// is a dependent random-index load, so on large footprints each call is a
+// real cache miss; this is the L2-miss path's single hottest table.
+func (f *lineFlags) missClassify(line uint64) uint8 {
+	i := f.slot(line)
+	prev := f.vals[i]
+	if prev == 0 {
+		if f.n+1 >= len(f.keys)-len(f.keys)/8 {
+			f.grow()
+			i = f.slot(line)
+		}
+		f.keys[i] = line
+		f.n++
+	}
+	f.vals[i] = flagEverCached
+	return prev
+}
+
+// count returns the number of tracked lines.
+func (f *lineFlags) count() int { return f.n }
+
+// reset empties the table, keeping capacity.
+func (f *lineFlags) reset() {
+	clear(f.vals)
+	f.n = 0
+}
+
+func (f *lineFlags) grow() {
+	oldKeys, oldVals := f.keys, f.vals
+	cap2 := len(oldKeys) * 2
+	f.keys = make([]uint64, cap2)
+	f.vals = make([]uint8, cap2)
+	f.mask = uint64(cap2 - 1)
+	for i, v := range oldVals {
+		if v == 0 {
+			continue
+		}
+		k := oldKeys[i]
+		j := mix64(k) & f.mask
+		for f.vals[j] != 0 {
+			j = (j + 1) & f.mask
+		}
+		f.keys[j] = k
+		f.vals[j] = v
+	}
+}

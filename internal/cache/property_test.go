@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scaltool/internal/machine"
+)
+
+// modelCache is an oracle implementation of Cache semantics: per-set slices
+// of (line, state) kept explicitly MRU-first. It exists to cross-check the
+// packed flat-slot implementation under install/invalidate storms — the
+// class of bug where a vacated way keeps a stale slot value (the Invalidate
+// tail bug) shows up here as a ForEach or Lookup divergence.
+type modelCache struct {
+	sets  [][]modelWay
+	assoc int
+	c     *Cache // for the line→set mapping, which is shared machinery
+}
+
+type modelWay struct {
+	line uint64
+	st   State
+}
+
+func newModel(c *Cache, cfg machine.CacheConfig) *modelCache {
+	return &modelCache{sets: make([][]modelWay, cfg.Sets()), assoc: cfg.Assoc, c: c}
+}
+
+func (m *modelCache) set(line uint64) *[]modelWay { return &m.sets[m.c.SetOf(line)] }
+
+func (m *modelCache) findIn(s []modelWay, line uint64) int {
+	for i, w := range s {
+		if w.line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *modelCache) insert(line uint64, st State) (Eviction, bool) {
+	s := m.set(line)
+	if i := m.findIn(*s, line); i >= 0 {
+		w := (*s)[i]
+		w.st = st
+		*s = append((*s)[:i], (*s)[i+1:]...)
+		*s = append([]modelWay{w}, *s...)
+		return Eviction{}, false
+	}
+	if len(*s) == m.assoc {
+		victim := (*s)[len(*s)-1]
+		*s = append([]modelWay{{line, st}}, (*s)[:len(*s)-1]...)
+		return Eviction{Line: victim.line, State: victim.st}, true
+	}
+	*s = append([]modelWay{{line, st}}, *s...)
+	return Eviction{}, false
+}
+
+func (m *modelCache) touch(line uint64) (State, bool) {
+	s := m.set(line)
+	i := m.findIn(*s, line)
+	if i < 0 {
+		return Invalid, false
+	}
+	w := (*s)[i]
+	*s = append((*s)[:i], (*s)[i+1:]...)
+	*s = append([]modelWay{w}, *s...)
+	return w.st, true
+}
+
+func (m *modelCache) invalidate(line uint64) (State, bool) {
+	s := m.set(line)
+	i := m.findIn(*s, line)
+	if i < 0 {
+		return Invalid, false
+	}
+	prev := (*s)[i].st
+	*s = append((*s)[:i], (*s)[i+1:]...)
+	return prev, true
+}
+
+func (m *modelCache) downgrade(line uint64) (State, bool) {
+	s := m.set(line)
+	i := m.findIn(*s, line)
+	if i < 0 {
+		return Invalid, false
+	}
+	prev := (*s)[i].st
+	if prev == Modified || prev == Exclusive {
+		(*s)[i].st = Shared
+	}
+	return prev, true
+}
+
+func (m *modelCache) flush() int {
+	dirty := 0
+	for i := range m.sets {
+		for _, w := range m.sets[i] {
+			if w.st == Modified {
+				dirty++
+			}
+		}
+		m.sets[i] = m.sets[i][:0]
+	}
+	return dirty
+}
+
+func (m *modelCache) resident() int {
+	n := 0
+	for _, s := range m.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// dump flattens the model in the same deterministic order ForEach promises:
+// set-major, MRU-first.
+func (m *modelCache) dump() []modelWay {
+	var out []modelWay
+	for _, s := range m.sets {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// TestCacheMatchesModelProperty drives the packed implementation and the
+// oracle through the same random storm of inserts, touches, invalidations,
+// downgrades, lookups and flushes, comparing every return value and — after
+// every step — the complete observable state (Resident plus the exact
+// ForEach enumeration). Regression coverage for the Invalidate stale-tail
+// bug: leaving a vacated way's old slot value behind makes the enumerations
+// diverge on the next aliasing install.
+func TestCacheMatchesModelProperty(t *testing.T) {
+	cfg := machine.CacheConfig{SizeBytes: 512, LineBytes: 16, Assoc: 2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(cfg, 64)
+		m := newModel(c, cfg)
+		for i := 0; i < 2000; i++ {
+			line := uint64(rng.Intn(96)) // ~6 lines per set: constant aliasing pressure
+			switch rng.Intn(6) {
+			case 0, 1:
+				st := State(1 + rng.Intn(3))
+				ev, ok := c.Insert(line, st)
+				wantEv, wantOK := m.insert(line, st)
+				if ev != wantEv || ok != wantOK {
+					t.Logf("seed %d step %d: Insert(%d,%v) = %+v,%v; model %+v,%v",
+						seed, i, line, st, ev, ok, wantEv, wantOK)
+					return false
+				}
+			case 2:
+				st, ok := c.Touch(line)
+				wantSt, wantOK := m.touch(line)
+				if st != wantSt || ok != wantOK {
+					t.Logf("seed %d step %d: Touch(%d) mismatch", seed, i, line)
+					return false
+				}
+			case 3:
+				st, ok := c.Invalidate(line)
+				wantSt, wantOK := m.invalidate(line)
+				if st != wantSt || ok != wantOK {
+					t.Logf("seed %d step %d: Invalidate(%d) mismatch", seed, i, line)
+					return false
+				}
+			case 4:
+				st, ok := c.Downgrade(line)
+				wantSt, wantOK := m.downgrade(line)
+				if st != wantSt || ok != wantOK {
+					t.Logf("seed %d step %d: Downgrade(%d) mismatch", seed, i, line)
+					return false
+				}
+			case 5:
+				if rng.Intn(50) == 0 { // rare full flush
+					if got, want := c.Flush(), m.flush(); got != want {
+						t.Logf("seed %d step %d: Flush = %d, model %d", seed, i, got, want)
+						return false
+					}
+				} else {
+					st, ok := c.Lookup(line)
+					wantSt := Invalid
+					wantOK := false
+					if j := m.findIn(*m.set(line), line); j >= 0 {
+						wantSt, wantOK = (*m.set(line))[j].st, true
+					}
+					if st != wantSt || ok != wantOK {
+						t.Logf("seed %d step %d: Lookup(%d) mismatch", seed, i, line)
+						return false
+					}
+				}
+			}
+			if c.Resident() != m.resident() {
+				t.Logf("seed %d step %d: Resident = %d, model %d", seed, i, c.Resident(), m.resident())
+				return false
+			}
+			want := m.dump()
+			var got []modelWay
+			c.ForEach(func(l uint64, st State) { got = append(got, modelWay{l, st}) })
+			if len(got) != len(want) {
+				t.Logf("seed %d step %d: ForEach yielded %d lines, model %d", seed, i, len(got), len(want))
+				return false
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Logf("seed %d step %d: ForEach[%d] = %+v, model %+v", seed, i, j, got[j], want[j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

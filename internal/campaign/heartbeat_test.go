@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"scaltool/internal/faultinject"
+	"scaltool/internal/machine"
+	"scaltool/internal/obs"
+	"scaltool/internal/sim"
+)
+
+// Regression test for heartbeat starvation (the watchdog killing *healthy*
+// workers): the simulator used to beat only at barrier-region boundaries, so
+// an application whose whole access stream is one giant region sent no
+// heartbeat for the region's entire wall time, and an armed watchdog kicked
+// and restarted a worker that was making steady progress — forever, since
+// every attempt replays the same region. Lanes now beat inside regions at a
+// bounded simulated-access interval, so this campaign must complete with
+// zero watchdog restarts.
+
+// oneRegionApp builds programs whose entire sweep is a single barrier
+// region, whatever size the plan asks for.
+type oneRegionApp struct{}
+
+func (oneRegionApp) Name() string          { return "oneregion" }
+func (oneRegionApp) Description() string   { return "single-region sweep (heartbeat regression)" }
+func (oneRegionApp) ParallelModel() string { return "PCF" }
+func (oneRegionApp) DefaultBytes(cfg machine.Config) uint64 {
+	return 8 * uint64(cfg.L2.SizeBytes)
+}
+
+func (oneRegionApp) Build(cfg machine.Config, procs int, dataBytes uint64) (*sim.Program, error) {
+	p, err := sim.NewProgram("oneregion", procs, dataBytes, cfg.PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	arr := p.MustAlloc("a", dataBytes)
+	per := dataBytes / uint64(procs)
+	reg := p.AddRegion("everything")
+	for pr := 0; pr < procs; pr++ {
+		reg.Proc(pr).Seq(arr.Base+uint64(pr)*per, per/8, 8, false, 1)
+	}
+	return p, nil
+}
+
+func TestWatchdogDoesNotStarveOnOneGiantRegion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	app := oneRegionApp{}
+	// s0 = 64 MB: the base runs' single region simulates ~8M accesses —
+	// wall time far past the heartbeat deadline below, so a boundary-only
+	// heartbeat would guarantee watchdog kicks on every attempt.
+	plan, err := NewPlan(app, cfg(), 4, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lanes beat every 2^16 simulated accesses — a few ms of wall time, so
+	// 100 ms of silence really means a wedged worker. The race detector
+	// slows simulation ~20x (and timeshares the lanes harder), so its
+	// deadline gets the same multiplier; a boundary-only heartbeat would
+	// still starve it many times over, the regression this test pins.
+	deadline := 100 * time.Millisecond
+	if raceEnabled {
+		deadline = 2 * time.Second
+	}
+	rn := supervisorRunner(faultinject.Spec{}, deadline, 2)
+
+	mt := obs.NewMetrics()
+	ctx := obs.NewContext(context.Background(), &obs.Observer{Metrics: mt})
+	res, err := rn.Execute(ctx, app, plan)
+	if err != nil {
+		t.Fatalf("healthy single-region campaign failed under the watchdog: %v", err)
+	}
+	for _, r := range res.Health.Retries {
+		t.Errorf("watchdog retried healthy run %s: %s", r.Run, r.Reason)
+	}
+	if v := mt.Counter("scaltool_supervisor_restarts_total", "").Value(); v != 0 {
+		t.Fatalf("watchdog restarted %d healthy workers (heartbeat starvation)", int(v))
+	}
+	if v := mt.Counter("scaltool_supervisor_quarantines_total", "").Value(); v != 0 {
+		t.Fatalf("%d healthy runs quarantined", int(v))
+	}
+	if v := mt.Counter("scaltool_supervisor_heartbeats_total", "").Value(); v < 20 {
+		t.Fatalf("only %d heartbeats over a multi-million-access campaign; "+
+			"in-region beats are not reaching the supervisor", int(v))
+	}
+}

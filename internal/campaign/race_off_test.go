@@ -1,0 +1,8 @@
+//go:build !race
+
+package campaign
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose ~20x simulation slowdown stretches every wall-clock
+// margin in the watchdog tests.
+const raceEnabled = false

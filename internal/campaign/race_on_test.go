@@ -1,0 +1,5 @@
+//go:build race
+
+package campaign
+
+const raceEnabled = true

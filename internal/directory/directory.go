@@ -18,9 +18,21 @@
 // silently, so an invalidation may target a processor that no longer holds
 // the line — the cache model treats that as a no-op, exactly as hardware
 // does.
+//
+// Directory state is laid out flat: an open-addressed table maps a line
+// number to an index into dense struct-of-arrays entry storage, and every
+// entry's sharer bit-vector lives in one shared word arena (sharerWords
+// words per entry). Nothing on the probe path chases a pointer, and the
+// merge works entirely out of scratch buffers that are reused from region
+// to region — after warm-up a Merge allocates only when the region's
+// footprint outgrows every previous region's.
 package directory
 
-import "fmt"
+import (
+	"math/bits"
+	"slices"
+	"strconv"
+)
 
 // LineInfo is the immutable answer to a snapshot probe.
 type LineInfo struct {
@@ -30,40 +42,231 @@ type LineInfo struct {
 	Sharers int  // number of sharers (including a clean owner)
 }
 
-type entry struct {
-	owner   int16 // -1 when the line is shared or uncached
-	dirty   bool
-	sharers Bitset
+// lineIndex is an open-addressed hash table from line number to a dense
+// entry index. Entries are only ever added (directory state persists for
+// the whole run), so there are no tombstones; a slot is free iff its value
+// is -1.
+type lineIndex struct {
+	keys []uint64
+	vals []int32
+	mask uint64
+	n    int
+}
+
+const lineIndexMinCap = 1024
+
+func newLineIndex(capHint int) lineIndex {
+	c := lineIndexMinCap
+	for c < capHint {
+		c <<= 1
+	}
+	ix := lineIndex{keys: make([]uint64, c), vals: make([]int32, c), mask: uint64(c - 1)}
+	for i := range ix.vals {
+		ix.vals[i] = -1
+	}
+	return ix
+}
+
+// hashLine is a splitmix64-style finalizer.
+func hashLine(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// slotOf maps a line to its preferred table slot. A pure function —
+// concurrent get calls from the in-region simulation goroutines share no
+// state.
+func (ix *lineIndex) slotOf(line uint64) uint64 {
+	return hashLine(line) & ix.mask
+}
+
+// get returns the dense index of line, or -1.
+func (ix *lineIndex) get(line uint64) int32 {
+	i := ix.slotOf(line)
+	for {
+		v := ix.vals[i]
+		if v < 0 || ix.keys[i] == line {
+			return v
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+// put inserts line→idx (line must not be present).
+func (ix *lineIndex) put(line uint64, idx int32) {
+	if ix.n+1 >= len(ix.keys)-len(ix.keys)/4 {
+		ix.grow()
+	}
+	i := ix.slotOf(line)
+	for ix.vals[i] >= 0 {
+		i = (i + 1) & ix.mask
+	}
+	ix.keys[i] = line
+	ix.vals[i] = idx
+	ix.n++
+}
+
+func (ix *lineIndex) grow() { ix.growTo(len(ix.keys) * 2) }
+
+// reserve grows the table in one step until n entries fit within the load
+// bound — Merge sizes the scratch table from its input so the per-region
+// insert storm rehashes zero times instead of log(n) times.
+func (ix *lineIndex) reserve(n int) {
+	c := len(ix.keys)
+	if n+1 < c-c/4 {
+		return
+	}
+	for n+1 >= c-c/4 {
+		c <<= 1
+	}
+	ix.growTo(c)
+}
+
+func (ix *lineIndex) growTo(c int) {
+	oldKeys, oldVals := ix.keys, ix.vals
+	ix.keys = make([]uint64, c)
+	ix.vals = make([]int32, c)
+	ix.mask = uint64(c - 1)
+	for i := range ix.vals {
+		ix.vals[i] = -1
+	}
+	for i, v := range oldVals {
+		if v < 0 {
+			continue
+		}
+		k := oldKeys[i]
+		j := ix.slotOf(k)
+		for ix.vals[j] >= 0 {
+			j = (j + 1) & ix.mask
+		}
+		ix.keys[j] = k
+		ix.vals[j] = v
+	}
+}
+
+// reset empties the table, keeping capacity.
+func (ix *lineIndex) reset() {
+	for i := range ix.vals {
+		ix.vals[i] = -1
+	}
+	ix.n = 0
 }
 
 // Directory tracks the global coherence state of every line that has ever
 // been cached.
 type Directory struct {
 	procs int
-	lines map[uint64]*entry
+	words int // sharer bit-vector words per entry
+
+	idx     lineIndex
+	lines   []uint64 // dense: entry index → line number
+	owner   []int16  // -1 when the line is shared or uncached
+	dirty   []bool
+	sharers []uint64 // word arena: entry i's vector at [i*words, (i+1)*words)
 
 	invalidationsSent uint64
 	sharingLines      uint64 // region-sharing events (≥2 procs, ≥1 writer)
+
+	// ensure's run memo: the merge passes walk each processor's sorted line
+	// sets, and the dense entry arrays were filled by those same sorted
+	// walks, so line k+1 usually lives at entry e+1. The guess is verified
+	// against lines[] before use (a sequential read), replacing a scattered
+	// hash probe for the common case. Only Merge — single-threaded — calls
+	// ensure, so the memo never races with concurrent Probes.
+	lastLine  uint64
+	lastEntry int32
+
+	// Progress, when non-nil, is invoked by Merge every mergeBeatInterval
+	// processed line records. The simulator wires the run's heartbeat here so
+	// the watchdog keeps seeing progress through the merge of an enormous
+	// region — the merge of a multi-hundred-thousand-line region otherwise
+	// runs silent for longer than a tight watchdog deadline. Merge is
+	// single-threaded, so the callback never runs concurrently with itself.
+	Progress func()
+
+	scratch mergeScratch
+}
+
+// mergeBeatInterval is how many line records Merge processes between
+// Progress callbacks — same order of magnitude as the lanes'
+// heartbeatAccessInterval, far too seldom to measure.
+const mergeBeatInterval = 1 << 16
+
+// mergeScratch holds the per-Merge working state, reused across regions.
+type mergeScratch struct {
+	idx        lineIndex
+	touchLines []uint64 // dense: touch index → line (unused values, kept for growth symmetry)
+	readers    []uint64 // word arena parallel to touchLines
+	writers    []uint64
+	inv        []Invalidation
+	down       []Invalidation
 }
 
 // New creates an empty directory for a machine with procs processors.
 func New(procs int) *Directory {
 	if procs <= 0 {
-		panic(fmt.Sprintf("directory: bad processor count %d", procs))
+		panic("directory: bad processor count " + strconv.Itoa(procs))
 	}
-	return &Directory{procs: procs, lines: make(map[uint64]*entry)}
+	d := &Directory{}
+	d.init(procs)
+	return d
+}
+
+func (d *Directory) init(procs int) {
+	d.procs = procs
+	d.words = (procs + 63) / 64
+	d.idx = newLineIndex(lineIndexMinCap)
+	d.scratch.idx = newLineIndex(lineIndexMinCap)
+	d.lastEntry = -1
+}
+
+// Reset returns the directory to its just-built state for a machine with
+// procs processors, reusing the backing arrays. The pooled run arena calls
+// this between runs.
+func (d *Directory) Reset(procs int) {
+	if procs <= 0 {
+		panic("directory: bad processor count " + strconv.Itoa(procs))
+	}
+	d.procs = procs
+	d.words = (procs + 63) / 64
+	d.idx.reset()
+	d.lines = d.lines[:0]
+	d.owner = d.owner[:0]
+	d.dirty = d.dirty[:0]
+	d.sharers = d.sharers[:0]
+	d.invalidationsSent = 0
+	d.sharingLines = 0
+	d.lastLine = 0
+	d.lastEntry = -1
 }
 
 // Probe returns the current (snapshot) state of a line. During a region the
 // directory is only probed, never mutated, so concurrent probes from the
 // per-processor simulation goroutines are safe.
 func (d *Directory) Probe(line uint64) LineInfo {
-	e, ok := d.lines[line]
-	if !ok {
+	e := d.idx.get(line)
+	if e < 0 {
 		return LineInfo{Owner: -1}
 	}
-	info := LineInfo{Cached: true, Owner: int(e.owner), Dirty: e.dirty, Sharers: e.sharers.Count()}
-	return info
+	return LineInfo{
+		Cached:  true,
+		Owner:   int(d.owner[e]),
+		Dirty:   d.dirty[e],
+		Sharers: d.countSharers(int(e)),
+	}
+}
+
+func (d *Directory) countSharers(e int) int {
+	if d.words == 1 {
+		return bits.OnesCount64(d.sharers[e])
+	}
+	c := 0
+	for _, w := range d.sharers[e*d.words : (e+1)*d.words] {
+		c += bits.OnesCount64(w)
+	}
+	return c
 }
 
 // RegionAccess is one processor's buffered coherence activity for a region.
@@ -84,7 +287,9 @@ type Invalidation struct {
 }
 
 // MergeResult reports the cache maintenance the simulator must apply and
-// the sharing statistics of the region.
+// the sharing statistics of the region. The Invalidations and Downgrades
+// slices are owned by the directory and valid only until the next Merge;
+// callers that need them longer must copy.
 type MergeResult struct {
 	// Invalidations lists (line, processor) pairs whose cached copies are
 	// stale after the region's writes. Deterministic order: by merge
@@ -102,94 +307,251 @@ type MergeResult struct {
 // order, and returns the invalidations/downgrades to apply to the caches.
 func (d *Directory) Merge(accesses []RegionAccess) MergeResult {
 	var res MergeResult
+	s := &d.scratch
+	s.inv = s.inv[:0]
+	s.down = s.down[:0]
+	W := d.words
+
+	total := 0
+	for _, a := range accesses {
+		total += len(a.ReadFills) + len(a.Writes)
+	}
+	// Presize the directory for the worst case (every record a new line)
+	// before the passes run: the index rehashes once while still small and
+	// the dense arrays stop doubling mid-merge — no multi-megabyte memmove
+	// or rehash storm can open a silent gap between Progress beats.
+	d.idx.reserve(d.idx.n + total)
+	d.lines = slices.Grow(d.lines, total)
+	d.owner = slices.Grow(d.owner, total)
+	d.dirty = slices.Grow(d.dirty, total)
+	d.sharers = slices.Grow(d.sharers, total*W)
+	// Heartbeat counter: step() is called once per processed line record in
+	// every pass, so Progress fires at a bounded interval however large the
+	// region was.
+	wk := 0
+	step := func() {
+		if wk++; wk >= mergeBeatInterval {
+			wk = 0
+			if d.Progress != nil {
+				d.Progress()
+			}
+		}
+	}
 
 	// Pass 0: detect intra-region sharing (≥2 distinct procs touching a
-	// line, at least one writing it).
-	type touch struct {
-		readers, writers Bitset
-	}
-	touched := make(map[uint64]*touch)
-	record := func(line uint64, proc int, write bool) {
-		t, ok := touched[line]
-		if !ok {
-			t = &touch{readers: NewBitset(d.procs), writers: NewBitset(d.procs)}
-			touched[line] = t
-		}
-		if write {
-			t.writers.Set(proc)
-		} else {
-			t.readers.Set(proc)
-		}
-	}
-	for _, a := range accesses {
-		d.checkProc(a.Proc)
-		for _, l := range a.ReadFills {
-			record(l, a.Proc, false)
-		}
-		for _, l := range a.Writes {
-			record(l, a.Proc, true)
-		}
-	}
-	for _, t := range touched {
-		if t.writers.Count() >= 1 && t.writers.Count()+t.readers.Count() >= 2 {
-			// Distinct processors? A proc may both read-fill and write.
-			distinct := t.readers.Clone()
-			t.writers.ForEach(func(p int) { distinct.Set(p) })
-			if distinct.Count() >= 2 {
-				res.SharingLines++
-				d.sharingLines++
+	// line, at least one writing it). With a single access list ≥2 distinct
+	// processors is impossible, so the whole pass — scratch table and all —
+	// degenerates to computing zero; uniprocessor runs skip it.
+	if len(accesses) > 1 {
+		s.idx.reset()
+		s.idx.reserve(total)
+		s.touchLines = growCap(s.touchLines, total)
+		s.readers = growCap(s.readers, total*W)
+		s.writers = growCap(s.writers, total*W)
+		// The same sorted-run memo ensure uses: each processor's line set is
+		// sorted, so repeat touches of consecutive lines resolve by guessing
+		// the next dense slot and verifying, instead of re-probing the hash.
+		lastL, lastT := ^uint64(0), int32(-1)
+		record := func(line uint64, proc int, write bool) {
+			t := lastT + 1
+			if line != lastL+1 || int(t) >= len(s.touchLines) || s.touchLines[t] != line {
+				t = s.idx.get(line)
+				if t < 0 {
+					t = int32(len(s.touchLines))
+					s.idx.put(line, t)
+					s.touchLines = append(s.touchLines, line)
+					for i := 0; i < W; i++ {
+						s.readers = append(s.readers, 0)
+						s.writers = append(s.writers, 0)
+					}
+				}
 			}
+			lastL, lastT = line, t
+			if write {
+				s.writers[int(t)*W+proc>>6] |= 1 << (uint(proc) & 63)
+			} else {
+				s.readers[int(t)*W+proc>>6] |= 1 << (uint(proc) & 63)
+			}
+			step()
+		}
+		for _, a := range accesses {
+			d.checkProc(a.Proc)
+			for _, l := range a.ReadFills {
+				record(l, a.Proc, false)
+			}
+			for _, l := range a.Writes {
+				record(l, a.Proc, true)
+			}
+		}
+		if W == 1 {
+			// ≤64 processors: one vector word per line, no inner loop.
+			for t := range s.touchLines {
+				wv, rv := s.writers[t], s.readers[t]
+				if wv != 0 && bits.OnesCount64(wv|rv) >= 2 {
+					res.SharingLines++
+					d.sharingLines++
+				}
+				step()
+			}
+		} else {
+			for t := range s.touchLines {
+				writers, distinct := 0, 0
+				for w := 0; w < W; w++ {
+					writers += bits.OnesCount64(s.writers[t*W+w])
+					distinct += bits.OnesCount64(s.writers[t*W+w] | s.readers[t*W+w])
+				}
+				if writers >= 1 && distinct >= 2 {
+					res.SharingLines++
+					d.sharingLines++
+				}
+				step()
+			}
+		}
+	} else {
+		for _, a := range accesses {
+			d.checkProc(a.Proc)
 		}
 	}
 
 	// Pass 1: writes, in processor order. The last writer in processor
-	// order becomes the owner; every other holder is invalidated.
-	for _, a := range accesses {
-		for _, line := range a.Writes {
-			e := d.ensure(line)
-			// Invalidate all current holders except the writer.
-			e.sharers.ForEach(func(p int) {
-				if p != a.Proc {
-					res.Invalidations = append(res.Invalidations, Invalidation{Line: line, Proc: p})
+	// order becomes the owner; every other holder is invalidated. The
+	// W == 1 body (≤64 processors, every current machine) works on the
+	// single vector word directly — same invalidation order (ascending
+	// processor), same final state, no slice loop per line.
+	if W == 1 {
+		for _, a := range accesses {
+			bit := uint64(1) << (uint(a.Proc) & 63)
+			for _, line := range a.Writes {
+				e := d.ensure(line)
+				w := d.sharers[e]
+				for v := w; v != 0; v &= v - 1 {
+					p := bits.TrailingZeros64(v)
+					if p != a.Proc {
+						s.inv = append(s.inv, Invalidation{Line: line, Proc: p})
+						d.invalidationsSent++
+					}
+				}
+				if own := d.owner[e]; own >= 0 && int(own) != a.Proc && w&(1<<(uint(own)&63)) == 0 {
+					s.inv = append(s.inv, Invalidation{Line: line, Proc: int(own)})
 					d.invalidationsSent++
 				}
-			})
-			if e.owner >= 0 && int(e.owner) != a.Proc && !e.sharers.Has(int(e.owner)) {
-				res.Invalidations = append(res.Invalidations, Invalidation{Line: line, Proc: int(e.owner)})
-				d.invalidationsSent++
+				d.sharers[e] = bit
+				d.owner[e] = int16(a.Proc)
+				d.dirty[e] = true
+				step()
 			}
-			e.sharers.Reset()
-			e.sharers.Set(a.Proc)
-			e.owner = int16(a.Proc)
-			e.dirty = true
+		}
+	} else {
+		for _, a := range accesses {
+			for _, line := range a.Writes {
+				e := d.ensure(line)
+				// Invalidate all current holders except the writer.
+				vec := d.sharers[e*W : (e+1)*W]
+				for wi, w := range vec {
+					for w != 0 {
+						p := wi<<6 + bits.TrailingZeros64(w)
+						w &= w - 1
+						if p != a.Proc {
+							s.inv = append(s.inv, Invalidation{Line: line, Proc: p})
+							d.invalidationsSent++
+						}
+					}
+				}
+				if own := d.owner[e]; own >= 0 && int(own) != a.Proc && !d.hasSharer(e, int(own)) {
+					s.inv = append(s.inv, Invalidation{Line: line, Proc: int(own)})
+					d.invalidationsSent++
+				}
+				clearWords(vec)
+				d.setSharer(e, a.Proc)
+				d.owner[e] = int16(a.Proc)
+				d.dirty[e] = true
+				step()
+			}
 		}
 	}
 
 	// Pass 2: read fills. Readers join the sharer set; a dirty owner other
-	// than the reader is downgraded to Shared.
-	for _, a := range accesses {
-		for _, line := range a.ReadFills {
-			e := d.ensure(line)
-			if e.owner >= 0 && int(e.owner) != a.Proc {
-				if e.dirty {
-					res.Downgrades = append(res.Downgrades, Invalidation{Line: line, Proc: int(e.owner)})
+	// than the reader is downgraded to Shared. W == 1 specialized like
+	// pass 1.
+	if W == 1 {
+		for _, a := range accesses {
+			bit := uint64(1) << (uint(a.Proc) & 63)
+			for _, line := range a.ReadFills {
+				e := d.ensure(line)
+				if own := d.owner[e]; own >= 0 && int(own) != a.Proc {
+					if d.dirty[e] {
+						s.down = append(s.down, Invalidation{Line: line, Proc: int(own)})
+					}
+					d.dirty[e] = false
+					d.owner[e] = -1
 				}
-				e.dirty = false
-				e.owner = -1
+				sh := d.sharers[e]
+				if sh == 0 && d.owner[e] < 0 {
+					// First and only holder: becomes clean exclusive owner.
+					d.owner[e] = int16(a.Proc)
+					d.dirty[e] = false
+				}
+				sh |= bit
+				d.sharers[e] = sh
+				if bits.OnesCount64(sh) > 1 {
+					d.owner[e] = -1
+					d.dirty[e] = false
+				}
+				step()
 			}
-			if e.sharers.Count() == 0 && e.owner < 0 {
-				// First and only holder: becomes clean exclusive owner.
-				e.owner = int16(a.Proc)
-				e.dirty = false
-			}
-			e.sharers.Set(a.Proc)
-			if e.sharers.Count() > 1 {
-				e.owner = -1
-				e.dirty = false
+		}
+	} else {
+		for _, a := range accesses {
+			for _, line := range a.ReadFills {
+				e := d.ensure(line)
+				if own := d.owner[e]; own >= 0 && int(own) != a.Proc {
+					if d.dirty[e] {
+						s.down = append(s.down, Invalidation{Line: line, Proc: int(own)})
+					}
+					d.dirty[e] = false
+					d.owner[e] = -1
+				}
+				if d.countSharers(e) == 0 && d.owner[e] < 0 {
+					// First and only holder: becomes clean exclusive owner.
+					d.owner[e] = int16(a.Proc)
+					d.dirty[e] = false
+				}
+				d.setSharer(e, a.Proc)
+				if d.countSharers(e) > 1 {
+					d.owner[e] = -1
+					d.dirty[e] = false
+				}
+				step()
 			}
 		}
 	}
+	res.Invalidations = s.inv
+	res.Downgrades = s.down
 	return res
+}
+
+// growCap truncates b to length 0, reallocating when its capacity is below
+// n — one allocation up front instead of a doubling cascade of memmoves
+// during the merge's append storm.
+func growCap(b []uint64, n int) []uint64 {
+	if cap(b) < n {
+		return make([]uint64, 0, n)
+	}
+	return b[:0]
+}
+
+func (d *Directory) setSharer(e, p int) {
+	d.sharers[e*d.words+p>>6] |= 1 << (uint(p) & 63)
+}
+
+func (d *Directory) hasSharer(e, p int) bool {
+	return d.sharers[e*d.words+p>>6]&(1<<(uint(p)&63)) != 0
+}
+
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
 }
 
 // Evicted tells the directory a processor silently dropped a line (capacity
@@ -198,14 +560,14 @@ func (d *Directory) Merge(accesses []RegionAccess) MergeResult {
 // and what-if studies can model precise directories with it.
 func (d *Directory) Evicted(line uint64, proc int) {
 	d.checkProc(proc)
-	e, ok := d.lines[line]
-	if !ok {
+	e := d.idx.get(line)
+	if e < 0 {
 		return
 	}
-	e.sharers.Clear(proc)
-	if int(e.owner) == proc {
-		e.owner = -1
-		e.dirty = false
+	d.sharers[int(e)*d.words+proc>>6] &^= 1 << (uint(proc) & 63)
+	if int(d.owner[e]) == proc {
+		d.owner[e] = -1
+		d.dirty[e] = false
 	}
 }
 
@@ -218,17 +580,30 @@ func (d *Directory) SharingLineEvents() uint64 { return d.sharingLines }
 // TrackedLines returns the number of lines with directory state.
 func (d *Directory) TrackedLines() int { return len(d.lines) }
 
-func (d *Directory) ensure(line uint64) *entry {
-	e, ok := d.lines[line]
-	if !ok {
-		e = &entry{owner: -1, sharers: NewBitset(d.procs)}
-		d.lines[line] = e
+// ensure returns the dense entry index of line, creating the entry if new.
+func (d *Directory) ensure(line uint64) int {
+	if g := d.lastEntry + 1; line == d.lastLine+1 && int(g) < len(d.lines) && d.lines[g] == line {
+		d.lastLine, d.lastEntry = line, g
+		return int(g)
 	}
+	if e := d.idx.get(line); e >= 0 {
+		d.lastLine, d.lastEntry = line, e
+		return int(e)
+	}
+	e := len(d.lines)
+	d.idx.put(line, int32(e))
+	d.lines = append(d.lines, line)
+	d.owner = append(d.owner, -1)
+	d.dirty = append(d.dirty, false)
+	for i := 0; i < d.words; i++ {
+		d.sharers = append(d.sharers, 0)
+	}
+	d.lastLine, d.lastEntry = line, int32(e)
 	return e
 }
 
 func (d *Directory) checkProc(p int) {
 	if p < 0 || p >= d.procs {
-		panic(fmt.Sprintf("directory: processor %d out of range [0,%d)", p, d.procs))
+		panic("directory: processor " + strconv.Itoa(p) + " out of range [0," + strconv.Itoa(d.procs) + ")")
 	}
 }

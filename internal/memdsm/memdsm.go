@@ -186,5 +186,19 @@ func (m *Memory) Home(addr uint64) int {
 // quantity the ssusage analogue reports as the application's resident size.
 func (m *Memory) TouchedPages() int { return m.touched }
 
+// Reset empties the page-home table for a new run with the given processor
+// count and policy, reusing the backing array (page size is fixed at
+// construction). The pooled run arena calls this between runs.
+func (m *Memory) Reset(procs int, policy Placement) error {
+	if procs <= 0 || procs > 1<<15 {
+		return fmt.Errorf("memdsm: bad processor count %d", procs)
+	}
+	m.homes = m.homes[:0]
+	m.touched = 0
+	m.procs = procs
+	m.policy = policy
+	return nil
+}
+
 // PageBytes returns the page size.
 func (m *Memory) PageBytes() int { return 1 << m.pageShift }

@@ -10,9 +10,20 @@ import "scaltool/internal/assert"
 // approximation instead of an omission (perfex does report TLB misses,
 // §5: "perfex outputs the number of data and instruction misses in the
 // caches and the number of TLB misses").
+//
+// LRU is kept with per-slot timestamps instead of a move-to-front list:
+// a hit stores one stamp (no memmove of the whole slot array), the common
+// repeat-same-page case short-circuits through a one-slot memo, and only
+// the rare miss pays an O(entries) scan for the minimum stamp. Stamps are
+// strictly increasing, so the victim is exactly the least recently used
+// page — byte-identical behavior to the list implementation it replaces.
 type TLB struct {
 	entries int
-	slots   []uint64 // MRU first
+	pages   []uint64 // slot → page, slots [0,used)
+	stamps  []uint64 // slot → last-access clock tick
+	used    int
+	clock   uint64
+	last    int // slot of the previous hit, -1 initially (repeat-page memo)
 	misses  uint64
 }
 
@@ -20,7 +31,27 @@ type TLB struct {
 // hits).
 func NewTLB(entries int) *TLB {
 	assert.True(entries >= 0, "memdsm: negative TLB entries %d", entries)
-	return &TLB{entries: entries}
+	return &TLB{
+		entries: entries,
+		pages:   make([]uint64, entries),
+		stamps:  make([]uint64, entries),
+		last:    -1,
+	}
+}
+
+// HitLast is Access's repeat-page memo split out small enough to inline
+// into the simulator's per-access loop: if page matches the previous hit's
+// slot it performs exactly the clock and stamp updates Access would and
+// reports the hit, saving the call. On false the caller must run the full
+// Access, which re-checks the memo harmlessly (a disabled TLB reports false
+// here and hits in Access).
+func (t *TLB) HitLast(page uint64) bool {
+	if t.entries != 0 && t.last >= 0 && t.pages[t.last] == page {
+		t.clock++
+		t.stamps[t.last] = t.clock
+		return true
+	}
+	return false
 }
 
 // Access looks up a page, updating LRU order; it returns true on a hit.
@@ -29,24 +60,73 @@ func (t *TLB) Access(page uint64) bool {
 	if t.entries == 0 {
 		return true
 	}
-	for i, p := range t.slots {
-		if p == page {
-			copy(t.slots[1:i+1], t.slots[:i])
-			t.slots[0] = page
+	t.clock++
+	if t.last >= 0 && t.pages[t.last] == page {
+		t.stamps[t.last] = t.clock
+		return true
+	}
+	for i := 0; i < t.used; i++ {
+		if t.pages[i] == page {
+			t.stamps[i] = t.clock
+			t.last = i
 			return true
 		}
 	}
 	t.misses++
-	if len(t.slots) < t.entries {
-		t.slots = append(t.slots, 0)
+	slot := t.used
+	if t.used < t.entries {
+		t.used++
+	} else {
+		// Evict the least recently used page (unique minimum stamp).
+		slot = 0
+		for i := 1; i < t.used; i++ {
+			if t.stamps[i] < t.stamps[slot] {
+				slot = i
+			}
+		}
 	}
-	copy(t.slots[1:], t.slots[:len(t.slots)-1])
-	t.slots[0] = page
+	t.pages[slot] = page
+	t.stamps[slot] = t.clock
+	t.last = slot
 	return false
+}
+
+// Tick records a guaranteed repeat-page hit: the caller has proven (e.g. via
+// the cache hierarchy's same-line memo) that this access touches the same
+// page as the previous one, whose slot t.last still points at. It performs
+// exactly the clock and stamp updates Access's memo path would — inlineable,
+// so the simulator's fast path pays no call.
+func (t *TLB) Tick() {
+	if t.entries == 0 {
+		return
+	}
+	t.clock++
+	t.stamps[t.last] = t.clock
+}
+
+// TickN is k consecutive Ticks in one call: the intermediate stamps would
+// all be overwritten by the last one (t.last cannot change between Ticks),
+// so only the final clock value needs storing. Byte-identical to calling
+// Tick k times.
+func (t *TLB) TickN(k uint64) {
+	if t.entries == 0 || k == 0 {
+		return
+	}
+	t.clock += k
+	t.stamps[t.last] = t.clock
 }
 
 // Misses returns the cumulative miss count.
 func (t *TLB) Misses() uint64 { return t.misses }
 
 // Resident returns the number of cached translations.
-func (t *TLB) Resident() int { return len(t.slots) }
+func (t *TLB) Resident() int { return t.used }
+
+// Reset empties the TLB and zeroes its miss counter, reusing the slot
+// arrays — the pooled run arena's path back to a fresh TLB.
+func (t *TLB) Reset() {
+	t.used = 0
+	t.clock = 0
+	t.last = -1
+	t.misses = 0
+}

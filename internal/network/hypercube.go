@@ -17,14 +17,25 @@ import (
 	"scaltool/internal/assert"
 )
 
+// hopTableMaxRouters bounds the precomputed router-pair hop table: beyond
+// this the table would outweigh the caches being simulated, so Hops falls
+// back to computing the Hamming distance on demand (identical values).
+const hopTableMaxRouters = 1024
+
 // Topology is an immutable description of a bristled hypercube connecting a
-// fixed number of processors.
+// fixed number of processors. Construction precomputes the processor→router
+// map and the router-pair hop table, so the per-miss latency questions the
+// simulator asks (OneWayCycles, RoundTripCycles) are two table loads and a
+// multiply — no divisions or popcounts on the hot path.
 type Topology struct {
 	procs          int
 	procsPerRouter int
 	routers        int // power of two ≥ ceil(procs/procsPerRouter)
 	dim            int // log2(routers)
 	routerHop      int // cycles per hop
+
+	routerOf []int32 // proc → router
+	hopTab   []uint8 // routers×routers Hamming distances; nil above hopTableMaxRouters
 }
 
 // New builds the topology for the given processor count. procsPerRouter is
@@ -47,13 +58,26 @@ func New(procs, procsPerRouter, routerHop int) (*Topology, error) {
 		routers <<= 1
 		dim++
 	}
-	return &Topology{
+	t := &Topology{
 		procs:          procs,
 		procsPerRouter: procsPerRouter,
 		routers:        routers,
 		dim:            dim,
 		routerHop:      routerHop,
-	}, nil
+	}
+	t.routerOf = make([]int32, procs)
+	for p := 0; p < procs; p++ {
+		t.routerOf[p] = int32(p / procsPerRouter)
+	}
+	if routers <= hopTableMaxRouters {
+		t.hopTab = make([]uint8, routers*routers)
+		for a := 0; a < routers; a++ {
+			for b := 0; b < routers; b++ {
+				t.hopTab[a*routers+b] = uint8(bits.OnesCount(uint(a ^ b)))
+			}
+		}
+	}
+	return t, nil
 }
 
 // Procs returns the number of processors.
@@ -70,7 +94,7 @@ func (t *Topology) Dim() int { return t.dim }
 // Origin nodes hold two processors each.
 func (t *Topology) Router(proc int) int {
 	t.check(proc)
-	return proc / t.procsPerRouter
+	return int(t.routerOf[proc])
 }
 
 // Hops returns the number of router-to-router hops on the minimal path
@@ -79,7 +103,11 @@ func (t *Topology) Router(proc int) int {
 func (t *Topology) Hops(from, to int) int {
 	t.check(from)
 	t.check(to)
-	return bits.OnesCount(uint(t.Router(from) ^ t.Router(to)))
+	a, b := t.routerOf[from], t.routerOf[to]
+	if t.hopTab != nil {
+		return int(t.hopTab[int(a)*t.routers+int(b)])
+	}
+	return bits.OnesCount(uint(a ^ b))
 }
 
 // OneWayCycles returns the network cost in cycles of a one-way message from

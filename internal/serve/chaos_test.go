@@ -71,25 +71,25 @@ func TestChaosAdversarialDocuments(t *testing.T) {
 	payloads := []string{
 		``,
 		`garbage`,
-		`{"app":"swim"`,                       // truncated document
-		`[]`,                                  // wrong top-level type
-		`{"app":123}`,                         // wrong field type
-		`{"app":"swim","bogus_field":1}`,      // unknown field
-		`{}`,                                  // no workload
-		`{"app":"nope"}`,                      // unknown app
-		`{"app":"swim","procs":3}`,            // non-power-of-two
-		`{"app":"swim","procs":-1}`,           // negative
-		`{"app":"swim","procs":1e308}`,        // float overflow into an int
+		`{"app":"swim"`,                  // truncated document
+		`[]`,                             // wrong top-level type
+		`{"app":123}`,                    // wrong field type
+		`{"app":"swim","bogus_field":1}`, // unknown field
+		`{}`,                             // no workload
+		`{"app":"nope"}`,                 // unknown app
+		`{"app":"swim","procs":3}`,       // non-power-of-two
+		`{"app":"swim","procs":-1}`,      // negative
+		`{"app":"swim","procs":1e308}`,   // float overflow into an int
 		`{"app":"swim","s0":99999999999999999999999999}`, // number overflow
 		`{"app":"swim","s0":18446744073709551615}`,       // max uint64 dataset
-		"{\"app\":\"\u0000\"}",             // NUL in a name
-		`{"app":"swim","program":{}}`,         // both workloads at once
-		`{"program":{}}`,                      // empty program spec
+		"{\"app\":\"\u0000\"}",                           // NUL in a name
+		`{"app":"swim","program":{}}`,                    // both workloads at once
+		`{"program":{}}`,                                 // empty program spec
 		`{"program":{"name":"p","arrays":null,"regions":null}}`,
-		strings.Repeat(`[`, 1<<16),            // deep nesting
+		strings.Repeat(`[`, 1<<16),                     // deep nesting
 		`{"app":"` + strings.Repeat("A", 1<<18) + `"}`, // huge string value
-		"\x00\x01\x02\xff",                    // binary garbage
-		`{"app":"swim","machine":"../../etc"}`, // path-shaped machine name
+		"\x00\x01\x02\xff",                             // binary garbage
+		`{"app":"swim","machine":"../../etc"}`,         // path-shaped machine name
 	}
 	seen := map[int]string{}
 	for i, p := range payloads {
@@ -205,9 +205,9 @@ func TestChaosMidRequestDisconnect(t *testing.T) {
 func TestChaosGarbageProtocol(t *testing.T) {
 	_, ts, _ := chaosServer(t, Options{Workers: 2})
 	for _, garbage := range []string{
-		"\x16\x03\x01\x02\x00",            // a TLS ClientHello at a plain port
+		"\x16\x03\x01\x02\x00",             // a TLS ClientHello at a plain port
 		"GET /v1/analyze HTTP/9.9\r\n\r\n", // absurd protocol version
-		strings.Repeat("A", 1<<16),        // an unbounded request line
+		strings.Repeat("A", 1<<16),         // an unbounded request line
 		"POST /v1/analyze HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
 	} {
 		conn, err := net.Dial("tcp", ts.Listener.Addr().String())

@@ -3,31 +3,31 @@ package sim
 import (
 	"context"
 	"fmt"
-	"sort"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"scaltool/internal/assert"
-	"scaltool/internal/cache"
 	"scaltool/internal/counters"
 	"scaltool/internal/directory"
 	"scaltool/internal/machine"
-	"scaltool/internal/memdsm"
-	"scaltool/internal/network"
 	"scaltool/internal/obs"
 )
 
-// engine holds the machine state of one run.
+// engine holds the per-run bookkeeping of one simulation: the immutable
+// inputs (cfg, prog), the pooled machine state (st), and the accumulators
+// that escape into the Result. The machine state lives in runState so it can
+// be recycled across runs; the accumulators are freshly allocated because
+// the Result aliases them.
 type engine struct {
-	cfg   machine.Config
-	prog  *Program
-	net   *network.Topology
-	mem   *memdsm.Memory
-	dir   *directory.Directory
-	hiers []*cache.Hierarchy
-	tlbs  []*memdsm.TLB
+	cfg  machine.Config
+	prog *Program
+	st   *runState
+	beat func() // heartbeat from the context; nil when absent
 
-	l2Shift uint // log2(L2 line bytes) for addr→line
+	l2Shift   uint // log2(L2 line bytes) for addr→line
+	pageShift uint // log2(page bytes) for addr→page
 
 	perProc []counters.Set
 	busy    []float64
@@ -66,7 +66,10 @@ func Run(cfg machine.Config, prog *Program) (*Result, error) {
 //
 // An observer in ctx (internal/obs) gets a "sim.run" span plus the run's
 // simulated-cycle and region counters; the per-access hot loop is never
-// instrumented.
+// instrumented. A heartbeat in ctx (WithHeartbeat) fires at region
+// boundaries and, inside a region, every heartbeatAccessInterval simulated
+// accesses per lane — so even a program that is one enormous region keeps
+// its supervisor's watchdog fed.
 func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -77,46 +80,47 @@ func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result
 	ctx, span := obs.StartSpan(ctx, "sim.run",
 		obs.A("prog", prog.Name), obs.A("procs", prog.Procs), obs.A("bytes", prog.DataBytes))
 	defer span.End()
-	net, err := network.New(prog.Procs, cfg.ProcsPerRouter, cfg.Lat.RouterHop)
+	// Acquire the pooled machine state first: it validates the page size
+	// (returning an error for a bad PageBytes before log2 can assert on it).
+	st, err := acquireRunState(&cfg, prog)
 	if err != nil {
 		return nil, err
 	}
-	mem, err := memdsm.NewMemory(cfg.PageBytes, prog.Procs, prog.Placement)
-	if err != nil {
-		return nil, err
-	}
+	defer releaseRunState(st)
 	e := &engine{
-		cfg:     cfg,
-		prog:    prog,
-		net:     net,
-		mem:     mem,
-		dir:     directory.New(prog.Procs),
-		hiers:   make([]*cache.Hierarchy, prog.Procs),
-		l2Shift: log2(cfg.L2.LineBytes),
-		perProc: make([]counters.Set, prog.Procs),
-		busy:    make([]float64, prog.Procs),
-		syncT:   make([]float64, prog.Procs),
-		imb:     make([]float64, prog.Procs),
+		cfg:         cfg,
+		prog:        prog,
+		st:          st,
+		beat:        heartbeatFrom(ctx),
+		l2Shift:     log2(cfg.L2.LineBytes),
+		pageShift:   log2(cfg.PageBytes),
+		perProc:     make([]counters.Set, prog.Procs),
+		busy:        make([]float64, prog.Procs),
+		syncT:       make([]float64, prog.Procs),
+		imb:         make([]float64, prog.Procs),
+		regions:     make([]RegionAttribution, 0, len(prog.Regions())),
+		segCounters: make([]segRegion, 0, len(prog.Regions())),
 	}
-	e.tlbs = make([]*memdsm.TLB, prog.Procs)
-	for p := range e.hiers {
-		e.hiers[p] = cache.NewHierarchy(cfg)
-		e.tlbs[p] = memdsm.NewTLB(cfg.TLBEntries)
+	for p := 0; p < prog.Procs; p++ {
+		st.lanes[p].bind(e, p)
 	}
+	// The coherence merge also feeds the heartbeat: a giant region's merge
+	// walks hundreds of thousands of lines, and a watchdog must see progress
+	// through it, not just through the lanes. releaseRunState clears the hook.
+	st.dir.Progress = e.beat
 
 	// The synchronization page is initialized by processor 0 before the
 	// first parallel region (its barrier/lock variables are homed there).
-	e.mem.HomeOf(prog.BarrierAddr(), 0)
-	e.mem.HomeOf(prog.LockAddr(), 0)
+	e.st.mem.HomeOf(prog.BarrierAddr(), 0)
+	e.st.mem.HomeOf(prog.LockAddr(), 0)
 
-	beat := heartbeatFrom(ctx)
 	for i := range prog.Regions() {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sim: run of %s stopped after %d of %d regions: %w",
 				prog.Name, i, len(prog.Regions()), err)
 		}
-		if beat != nil {
-			beat()
+		if e.beat != nil {
+			e.beat()
 		}
 		if err := e.runRegion(ctx, &prog.Regions()[i]); err != nil {
 			// The region's parallel phase was cut short: some processor
@@ -139,12 +143,14 @@ func RunContext(ctx context.Context, cfg machine.Config, prog *Program) (*Result
 	return res, nil
 }
 
+// log2 returns log2(v) for a positive power of two, asserting the
+// precondition instead of silently flooring it: a flooring log2 fed a
+// non-power-of-two line or page size would misalign every address→line
+// mapping in the run and quietly corrupt the results. Callers validate
+// sizes (machine.Validate, memdsm.NewMemory) before this can fire.
 func log2(v int) uint {
-	s := uint(0)
-	for 1<<(s+1) <= v {
-		s++
-	}
-	return s
+	assert.True(v > 0 && v&(v-1) == 0, "sim: log2 of %d, which is not a positive power of two", v)
+	return uint(bits.TrailingZeros(uint(v)))
 }
 
 // runRegion executes one barrier-delimited region. It returns the context's
@@ -159,27 +165,51 @@ func (e *engine) runRegion(ctx context.Context, r *Region) error {
 		e.assignHomes(p, &r.Streams[p])
 	}
 
-	// Phase 1 — per-processor stream simulation against the immutable
-	// directory snapshot, in parallel. A worker that observes cancellation
-	// bails with a zero-value procOut and flags the region incomplete; the
-	// flag — not a later ctx.Err() check, which a cancel-after-completion
-	// would trip spuriously — decides whether the region's outputs are
-	// trustworthy.
-	outs := make([]procOut, e.prog.Procs)
+	// Phase 1 — per-processor lane simulation against the immutable
+	// directory snapshot, on a bounded worker pool: min(procs, GOMAXPROCS)
+	// workers pull lane indices from an atomic counter, so a 64-processor
+	// region on a 4-core host runs 4 goroutines, not 64. Lanes only mutate
+	// their own processor's state, so any lane-to-worker assignment gives
+	// identical bytes. A worker that observes cancellation bails and flags
+	// the region incomplete; the flag — not a later ctx.Err() check, which
+	// a cancel-after-completion would trip spuriously — decides whether the
+	// region's outputs are trustworthy.
+	n := e.prog.Procs
 	var incomplete atomic.Bool
-	var wg sync.WaitGroup
-	for p := 0; p < e.prog.Procs; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			if ctx.Err() != nil {
-				incomplete.Store(true) // canceled mid-region: outs[p] stays zero
-				return
-			}
-			outs[p] = e.simulateStream(p, &r.Streams[p])
-		}(p)
+	workers := n
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for p := 0; p < n; p++ {
+			if ctx.Err() != nil {
+				incomplete.Store(true)
+				break
+			}
+			e.st.lanes[p].run(&r.Streams[p])
+		}
+	} else {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= n {
+						return
+					}
+					if ctx.Err() != nil {
+						incomplete.Store(true) // canceled mid-region: lane p never ran
+						return
+					}
+					e.st.lanes[p].run(&r.Streams[p])
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	if incomplete.Load() {
 		err := ctx.Err()
 		if err == nil {
@@ -197,11 +227,12 @@ func (e *engine) runRegion(ctx context.Context, r *Region) error {
 	// time attributed to synchronization, matching speedshop's placement of
 	// mp_lock_try() among the barrier-related routines.
 	var csPrefix float64
-	lockWait := make([]float64, e.prog.Procs)
-	for p := 0; p < e.prog.Procs; p++ {
-		if outs[p].cs > 0 {
+	lockWait := e.st.lockWait
+	for p := 0; p < n; p++ {
+		lockWait[p] = 0
+		if cs := e.st.lanes[p].out.cs; cs > 0 {
 			lockWait[p] = csPrefix
-			csPrefix += outs[p].cs
+			csPrefix += cs
 		}
 	}
 
@@ -212,19 +243,18 @@ func (e *engine) runRegion(ctx context.Context, r *Region) error {
 	// waiter re-reads the released flag at its home, and those reads are
 	// serviced serially — the term that makes barrier cost grow with the
 	// processor count, independent of how skewed the arrivals were.
-	n := e.prog.Procs
-	bhome := e.mem.Home(e.prog.BarrierAddr())
+	bhome := e.st.mem.Home(e.prog.BarrierAddr())
 	entryCycles := float64(e.cfg.Sync.BarrierInstr) * e.cfg.Cost.ComputeCPI
 
-	arrival := make([]float64, n)
-	for p := range arrival {
-		arrival[p] = outs[p].work + lockWait[p]
+	arrival := e.st.arrival
+	for p := 0; p < n; p++ {
+		arrival[p] = e.st.lanes[p].out.work + lockWait[p]
 	}
-	fetchDone := make([]float64, n)
+	fetchDone := e.st.fetchDone
 	lastDone := 0.0
 	for p := 0; p < n; p++ {
 		fetchDone[p] = arrival[p] + entryCycles +
-			float64(e.net.RoundTripCycles(p, bhome)+e.cfg.Lat.SyncAcquire)
+			float64(e.st.net.RoundTripCycles(p, bhome)+e.cfg.Lat.SyncAcquire)
 		if fetchDone[p] > lastDone {
 			lastDone = fetchDone[p]
 		}
@@ -236,7 +266,7 @@ func (e *engine) runRegion(ctx context.Context, r *Region) error {
 		}
 		// Serialized flag service in processor order, plus the waiter's
 		// own directory/network path.
-		return float64((p+1)*e.cfg.Lat.SyncService + e.cfg.Lat.Directory + e.net.RoundTripCycles(p, bhome))
+		return float64((p+1)*e.cfg.Lat.SyncService + e.cfg.Lat.Directory + e.st.net.RoundTripCycles(p, bhome))
 	}
 	regionEnd := 0.0
 	for p := 0; p < n; p++ {
@@ -253,7 +283,7 @@ func (e *engine) runRegion(ctx context.Context, r *Region) error {
 	// region end — entry work, fetchop serialization, release — is
 	// synchronization (mp_barrier), as is lock waiting (mp_lock_try).
 	maxArrival := arrival[0]
-	for _, a := range arrival[1:] {
+	for _, a := range arrival[1:n] {
 		if a > maxArrival {
 			maxArrival = a
 		}
@@ -261,7 +291,7 @@ func (e *engine) runRegion(ctx context.Context, r *Region) error {
 	barrierDrain := regionEnd - maxArrival
 	att := RegionAttribution{Name: r.Name, PerProc: make([]ProcPhases, n)}
 	for p := 0; p < n; p++ {
-		o := &outs[p]
+		o := &e.st.lanes[p].out
 		syncCycles := lockWait[p] + barrierDrain
 		imbCycles := maxArrival - arrival[p]
 
@@ -311,24 +341,46 @@ func (e *engine) runRegion(ctx context.Context, r *Region) error {
 	e.segCounters = append(e.segCounters, segRegion{name: r.Name, perProc: segSets})
 
 	// Phase 5 — coherence merge in processor order, then apply the
-	// resulting invalidations and downgrades to the caches.
-	accesses := make([]directory.RegionAccess, 0, n)
-	for p := 0; p < n; p++ {
-		if len(outs[p].readFills) == 0 && len(outs[p].writes) == 0 {
-			continue
+	// resulting invalidations and downgrades to the caches. A uniprocessor
+	// run skips the phase outright: its lone lane records no read/write sets
+	// (nothing to invalidate, nowhere), the merge could only produce empty
+	// lists and zero counters, and the directory stays empty.
+	if n > 1 {
+		accesses := e.st.accesses[:0]
+		for p := 0; p < n; p++ {
+			o := &e.st.lanes[p].out
+			if len(o.readFills) == 0 && len(o.writes) == 0 {
+				continue
+			}
+			accesses = append(accesses, directory.RegionAccess{
+				Proc:      p,
+				ReadFills: o.readFills,
+				Writes:    o.writes,
+			})
 		}
-		accesses = append(accesses, directory.RegionAccess{
-			Proc:      p,
-			ReadFills: outs[p].readFills,
-			Writes:    outs[p].writes,
-		})
-	}
-	res := e.dir.Merge(accesses)
-	for _, inv := range res.Invalidations {
-		e.hiers[inv.Proc].InvalidateRemote(inv.Line)
-	}
-	for _, dg := range res.Downgrades {
-		e.hiers[dg.Proc].DowngradeRemote(dg.Line)
+		e.st.accesses = accesses
+		res := e.st.dir.Merge(accesses)
+		// Applying the merge's invalidations and downgrades can itself be a
+		// long silent walk; keep the watchdog fed here too.
+		applied := 0
+		for _, inv := range res.Invalidations {
+			e.st.hiers[inv.Proc].InvalidateRemote(inv.Line)
+			if applied++; applied >= heartbeatAccessInterval {
+				applied = 0
+				if e.beat != nil {
+					e.beat()
+				}
+			}
+		}
+		for _, dg := range res.Downgrades {
+			e.st.hiers[dg.Proc].DowngradeRemote(dg.Line)
+			if applied++; applied >= heartbeatAccessInterval {
+				applied = 0
+				if e.beat != nil {
+					e.beat()
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -361,7 +413,7 @@ func (e *engine) assignHomes(p int, s *Stream) {
 			return
 		}
 		lastPage = pg
-		e.mem.HomeOf(addr, p)
+		e.st.mem.HomeOf(addr, p)
 	}
 	for _, op := range s.Ops {
 		switch op.Kind {
@@ -388,160 +440,6 @@ func (e *engine) assignHomes(p int, s *Stream) {
 	}
 }
 
-// procOut is the result of simulating one processor's stream for a region.
-type procOut struct {
-	work float64 // busy cycles (compute + memory stalls + own critical sections + upgrade transactions)
-	cs   float64 // cycles spent inside critical sections (subset of work, used for serialization)
-
-	instr, loads, stores        uint64
-	l1miss, l2miss, storeShared uint64
-	tlbMiss                     uint64
-	locks                       uint64
-	readFills, writes           []uint64 // sorted distinct L2 lines
-}
-
-// simulateStream runs one processor's ops through its cache hierarchy
-// against the immutable directory snapshot. Safe to run concurrently across
-// processors: it only reads e.dir/e.mem/e.net and mutates the processor's
-// own hierarchy.
-func (e *engine) simulateStream(p int, s *Stream) procOut {
-	var o procOut
-	if s.Empty() {
-		return o
-	}
-	h := e.hiers[p]
-	cfg := &e.cfg
-	readFills := make(map[uint64]struct{})
-	writes := make(map[uint64]struct{})
-
-	var missLat float64 // set by fill for the in-flight miss
-	fill := func(line uint64, write bool) cache.State {
-		addr := line << e.l2Shift
-		home := e.mem.Home(addr)
-		if home < 0 {
-			assert.Failf("sim: unhomed page for line %#x (pre-pass bug)", line)
-		}
-		info := e.dir.Probe(line)
-		if info.Cached && info.Dirty && info.Owner != p {
-			// 3-hop: requester→home, directory, home→owner forward,
-			// owner's cache intervention, owner→requester data.
-			missLat = float64(e.net.OneWayCycles(p, home) + cfg.Lat.Directory +
-				e.net.OneWayCycles(home, info.Owner) + cfg.Lat.DirtyFwd +
-				e.net.OneWayCycles(info.Owner, p))
-		} else {
-			missLat = float64(e.net.RoundTripCycles(p, home) + cfg.Lat.Directory + cfg.Lat.MemLocal)
-		}
-		if write {
-			return cache.Modified
-		}
-		if e.cfg.Protocol == machine.MSI {
-			return cache.Shared // no Exclusive state: every read fill is S
-		}
-		if !info.Cached || info.Sharers == 0 || (info.Owner == p && info.Sharers <= 1) {
-			return cache.Exclusive
-		}
-		return cache.Shared
-	}
-
-	tlb := e.tlbs[p]
-	pageShift := log2(cfg.PageBytes)
-	var lastWriteLine = uint64(1<<64 - 1)
-	access := func(addr uint64, write bool) {
-		if !tlb.Access(addr >> pageShift) {
-			o.work += float64(cfg.Lat.TLBMiss)
-			o.tlbMiss++
-		}
-		out := h.Access(addr, write, fill)
-		o.instr++
-		if write {
-			o.stores++
-		} else {
-			o.loads++
-		}
-		switch out.Level {
-		case cache.HitL1:
-			o.work += cfg.Cost.L1HitCPI
-		case cache.HitL2:
-			o.work += cfg.Cost.L1HitCPI + float64(cfg.Lat.L2Hit)
-			o.l1miss++
-		case cache.MissAll:
-			o.work += cfg.Cost.L1HitCPI + float64(cfg.Lat.L2Hit) + missLat
-			o.l1miss++
-			o.l2miss++
-			if !write {
-				readFills[out.L2Line] = struct{}{}
-			}
-		}
-		if out.StoreToShared {
-			o.storeShared++
-		}
-		if out.UpgradeFromShared {
-			// Ownership upgrade: round trip to the directory at the home.
-			home := e.mem.Home(addr)
-			o.work += float64(e.net.RoundTripCycles(p, home) + cfg.Lat.Directory)
-		}
-		if write && out.L2Line != lastWriteLine {
-			writes[out.L2Line] = struct{}{}
-			lastWriteLine = out.L2Line
-		}
-	}
-
-	for _, op := range s.Ops {
-		switch op.Kind {
-		case OpCompute:
-			o.instr += op.Instr
-			o.work += float64(op.Instr) * cfg.Cost.ComputeCPI
-		case OpSeq:
-			addr := int64(op.Base)
-			for i := uint64(0); i < op.Count; i++ {
-				if op.InstrPer > 0 {
-					o.instr += op.InstrPer
-					o.work += float64(op.InstrPer) * cfg.Cost.ComputeCPI
-				}
-				access(uint64(addr), op.Write)
-				addr += op.Stride
-			}
-		case OpGather:
-			for _, a := range op.Addrs {
-				if op.InstrPer > 0 {
-					o.instr += op.InstrPer
-					o.work += float64(op.InstrPer) * cfg.Cost.ComputeCPI
-				}
-				access(a, op.Write)
-			}
-		case OpCritical:
-			lockHome := e.mem.Home(e.prog.LockAddr())
-			cs := float64(cfg.Sync.LockInstr)*cfg.Cost.ComputeCPI +
-				float64(op.Instr)*cfg.Cost.ComputeCPI +
-				float64(e.net.RoundTripCycles(p, lockHome)+cfg.Lat.SyncAcquire)
-			o.instr += uint64(cfg.Sync.LockInstr) + op.Instr
-			o.stores++ // the lock fetchop
-			if e.prog.Procs > 1 {
-				o.storeShared++
-			}
-			o.work += cs
-			o.cs += cs
-			o.locks++
-		}
-	}
-
-	o.readFills = sortedLines(readFills)
-	o.writes = sortedLines(writes)
-	return o
-}
-
-func sortedLines(m map[uint64]struct{}) []uint64 {
-	if len(m) == 0 {
-		return nil
-	}
-	out := make([]uint64, 0, len(m))
-	for l := range m {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 // result assembles the final Result.
 func (e *engine) result() *Result {
 	n := e.prog.Procs
@@ -560,7 +458,7 @@ func (e *engine) result() *Result {
 		WallCycles:   round(e.wall),
 		Barriers:     e.barrierCount,
 		Locks:        e.lockCount,
-		TouchedPages: e.mem.TouchedPages(),
+		TouchedPages: e.st.mem.TouchedPages(),
 		PageBytes:    e.cfg.PageBytes,
 	}
 	g := &res.Ground
@@ -571,14 +469,14 @@ func (e *engine) result() *Result {
 		g.BusyCycles += e.busy[p]
 		g.SyncCycles += e.syncT[p]
 		g.ImbCycles += e.imb[p]
-		st := e.hiers[p].Stats()
+		st := e.st.hiers[p].Stats()
 		g.Compulsory += st.Compulsory
 		g.Coherence += st.Coherence
 		g.Conflict += st.Conflict
 	}
 	g.Coherence += e.barrierCoh
-	g.SharingLines = e.dir.SharingLineEvents()
-	g.Invalidations = e.dir.InvalidationsSent()
+	g.SharingLines = e.st.dir.SharingLineEvents()
+	g.Invalidations = e.st.dir.InvalidationsSent()
 	g.Regions = e.regions
 	res.segments = e.segCounters
 	return res

@@ -5,13 +5,17 @@ import "context"
 // heartbeatKey carries the progress callback installed by WithHeartbeat.
 type heartbeatKey struct{}
 
-// WithHeartbeat returns a context whose simulated runs invoke fn at every
-// barrier-region boundary — the engine's quiescent points, the same places
-// cancellation is checked. The campaign's worker supervisor installs its
-// per-worker heartbeat here so a run that is still making progress is
-// distinguishable from one that is wedged, without instrumenting the
-// per-access hot loop. fn must be cheap and safe to call from the run's
-// goroutine; a nil fn returns ctx unchanged.
+// WithHeartbeat returns a context whose simulated runs invoke fn at a
+// bounded work interval: at every barrier-region boundary, every
+// heartbeatAccessInterval simulated accesses inside each lane, and every
+// mergeBeatInterval line records through the closing coherence merge. The
+// campaign's worker supervisor installs its per-worker heartbeat here so a
+// run that is still making progress is distinguishable from one that is
+// wedged — even when the program is one enormous region.
+//
+// fn must be cheap and safe for concurrent use: inside a region the
+// per-processor lanes run on a worker pool and each invokes fn from its own
+// goroutine. A nil fn returns ctx unchanged.
 func WithHeartbeat(ctx context.Context, fn func()) context.Context {
 	if fn == nil {
 		return ctx

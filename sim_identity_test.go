@@ -1,0 +1,131 @@
+package scaltool_test
+
+// The byte-identity equivalence gate for the simulator rewrite (ISSUE 10).
+//
+// The golden file testdata/sim_golden_sha256.json holds the SHA-256 of
+// sim.EncodeResult for every application in the suite at every processor
+// count of the campaign ladder, captured BEFORE the flat-layout/pooled/
+// parallel-lane engine rewrite. The test asserts the rewritten engine still
+// produces byte-for-byte identical Results — same counters, same ground
+// truth, same region attribution, same segment tables — so the pooled run
+// arena and the in-region parallel lanes provably change nothing observable.
+//
+// verify.sh runs this under -race, which additionally exercises the bounded
+// worker pool's lane scheduling for data races.
+//
+// Regenerate (only legitimate when the *model* intentionally changes):
+//
+//	SCALTOOL_UPDATE_GOLDEN=1 go test -run TestSimByteIdentity .
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scaltool/internal/apps"
+	"scaltool/internal/machine"
+	"scaltool/internal/sim"
+)
+
+const goldenPath = "testdata/sim_golden_sha256.json"
+
+var identityProcs = []int{1, 2, 4, 8, 16}
+
+// identityKey names one cell of the app × procs matrix.
+func identityKey(app string, procs int) string { return fmt.Sprintf("%s/p%d", app, procs) }
+
+// runDigest simulates one (app, procs) cell and returns the SHA-256 hex of
+// its encoded Result.
+func runDigest(t *testing.T, cfg machine.Config, appName string, procs int) string {
+	t.Helper()
+	app, err := apps.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := app.Build(cfg, procs, app.DefaultBytes(cfg))
+	if err != nil {
+		t.Fatalf("%s/p%d: build: %v", appName, procs, err)
+	}
+	res, err := sim.Run(cfg, prog)
+	if err != nil {
+		t.Fatalf("%s/p%d: run: %v", appName, procs, err)
+	}
+	h := sha256.New()
+	if err := sim.EncodeResult(h, res); err != nil {
+		t.Fatalf("%s/p%d: encode: %v", appName, procs, err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestSimByteIdentity(t *testing.T) {
+	cfg := machine.ScaledOrigin()
+	got := map[string]string{}
+	for _, name := range apps.Names() {
+		for _, procs := range identityProcs {
+			got[identityKey(name, procs)] = runDigest(t, cfg, name, procs)
+		}
+	}
+
+	if os.Getenv("SCALTOOL_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with SCALTOOL_UPDATE_GOLDEN=1): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, suite produced %d (app set changed? regenerate)", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: in golden file but not produced by the suite", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: Result bytes diverged from pre-rewrite golden\n  want %s\n  got  %s", key, w, g)
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: produced by the suite but missing from golden file (regenerate)", key)
+		}
+	}
+}
+
+// TestSimRepeatDeterminism runs the same (app, procs) cell twice back to
+// back and requires identical bytes. With the pooled run arena this is the
+// test that a *reused* engine state behaves exactly like a fresh one — a
+// stale cache line, directory entry, TLB slot, or page home surviving the
+// arena reset would diverge here long before the cross-version goldens do.
+func TestSimRepeatDeterminism(t *testing.T) {
+	cfg := machine.ScaledOrigin()
+	for _, name := range []string{"swim", "hydro2d"} {
+		first := runDigest(t, cfg, name, 8)
+		for i := 0; i < 3; i++ {
+			if again := runDigest(t, cfg, name, 8); again != first {
+				t.Fatalf("%s/p8: repeat %d produced different bytes: %s vs %s", name, i+1, again, first)
+			}
+		}
+	}
+}

@@ -16,6 +16,13 @@ go vet ./...
 echo "==> go test -race (sim, campaign, obs; resume sweeps run in their own gate below)"
 go test -race -skip 'Chaos.*Resume' ./internal/sim/... ./internal/campaign/... ./internal/obs/...
 
+echo "==> byte-identity gate (golden SHA-256 of Result.Encode, app-set x proc-count matrix, under the race detector; goldens are never regenerated)"
+go test -run 'TestSimByteIdentity|TestSimRepeatDeterminism' -race .
+
+echo "==> heartbeat-starvation regression (one giant region must outlive an armed watchdog: in-region lane beats + merge beats)"
+go test -run 'TestWatchdogDoesNotStarveOnOneGiantRegion' ./internal/campaign/
+go test -run 'TestHeartbeat' ./internal/sim/
+
 echo "==> chaos smoke (fault-injected campaigns under the race detector)"
 go test -run Chaos -skip 'Chaos.*Resume' -race ./internal/campaign/...
 
